@@ -1,0 +1,27 @@
+"""Shared fixtures for the benchmark suite.
+
+Each benchmark module regenerates one paper figure/table (printed to the
+terminal so ``pytest benchmarks/ --benchmark-only`` doubles as the full
+reproduction run) and uses pytest-benchmark to time the representative
+kernels behind it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster.device import calibrate_matmul_gflops
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "figure: regenerates a paper figure/table")
+
+
+@pytest.fixture(scope="session")
+def host_gflops() -> float:
+    """Calibrated host matmul throughput, shared across benchmark modules."""
+    return calibrate_matmul_gflops(size=256, repeats=3)
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(0)

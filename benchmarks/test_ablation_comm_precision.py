@@ -1,0 +1,64 @@
+"""Ablation — compressed activation exchange (the paper's future-work item).
+
+"Further optimizations to communication protocols and exchange mechanisms
+may help relieve this bottleneck in future work" — here is the simplest
+such optimization, quantified: ship All-Gather payloads as float16 or int8.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.cluster.spec import ClusterSpec
+from repro.models import BertModel, tiny_config
+from repro.systems import VoltageSystem
+
+
+@pytest.mark.figure
+def test_regenerate_comm_precision_ablation(benchmark):
+    fig = benchmark.pedantic(figures.ablation_comm_precision, rounds=1, iterations=1)
+    print()
+    print(fig.format_table(precision=3))
+    single = fig.series_by_label("Single Device")
+    fp32 = fig.series_by_label("float32 (paper)")
+    int8 = fig.series_by_label("int8")
+    # compression extends Voltage's viable bandwidth floor below 200 Mbps
+    assert fp32.y_at(100) > single.y_at(100)
+    assert int8.y_at(100) < single.y_at(100)
+    # and still helps at the paper's default operating point
+    assert int8.y_at(500) < fp32.y_at(500)
+
+
+@pytest.mark.figure
+def test_measured_accuracy_cost_of_compression(benchmark):
+    """The latency table above is only half the story; measure the logit
+    deviation real compression introduces on a small model."""
+    model = BertModel(tiny_config(num_layers=4), num_classes=2,
+                      rng=np.random.default_rng(0))
+    cluster = ClusterSpec.homogeneous(4, gflops=5.0)
+    ids = model.encode_text("how much accuracy does the bandwidth saving cost " * 2)
+    exact = model(ids)
+
+    def measure():
+        deviations = {}
+        for dtype in ("float32", "float16", "int8"):
+            out = VoltageSystem(model, cluster, wire_dtype=dtype).run(ids).output
+            deviations[dtype] = float(np.max(np.abs(out - exact)))
+        return deviations
+
+    deviations = benchmark.pedantic(measure, rounds=1, iterations=1)
+    print(f"\nmax logit deviation vs exact: {deviations}")
+    assert deviations["float32"] < 1e-4
+    assert deviations["float32"] <= deviations["float16"] <= deviations["int8"]
+    assert deviations["int8"] < 0.5  # tame enough for classification
+
+
+@pytest.mark.parametrize("dtype", ["float32", "float16", "int8"])
+def test_bench_voltage_with_wire_encoding(benchmark, dtype):
+    model = BertModel(tiny_config(num_layers=2), num_classes=2,
+                      rng=np.random.default_rng(0))
+    cluster = ClusterSpec.homogeneous(4, gflops=5.0)
+    ids = model.encode_text("throughput of the encode-exchange-decode path")
+    system = VoltageSystem(model, cluster, wire_dtype=dtype)
+    result = benchmark(lambda: system.run(ids))
+    assert result.output.shape == (2,)

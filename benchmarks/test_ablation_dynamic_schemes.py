@@ -1,0 +1,51 @@
+"""Ablation — per-layer dynamic partition schemes (Section V-B extension).
+
+The paper notes Voltage can re-partition every layer "without any penalty"
+and defers the policy to future work.  This bench quantifies the payoff:
+under a straggler spike, the closed-loop EWMA planner recovers most of the
+oracle's gain over the static even split.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.cluster.dynamics import spike_trace
+from repro.cluster.spec import ClusterSpec
+from repro.models import BertModel, tiny_config
+from repro.systems.adaptive import AdaptiveVoltageSystem
+
+
+@pytest.mark.figure
+def test_regenerate_dynamic_scheme_ablation(benchmark):
+    ablation = benchmark.pedantic(figures.ablation_dynamic_schemes, rounds=1, iterations=1)
+    print()
+    print(ablation.format_table())
+    static = ablation.series_by_label("static")
+    dynamic = ablation.series_by_label("dynamic")
+    oracle = ablation.series_by_label("oracle")
+    # no straggler → all three coincide
+    assert static.y_at(1.0) == pytest.approx(dynamic.y_at(1.0), rel=1e-6)
+    for slowdown in (2.0, 3.0, 4.0, 6.0):
+        assert oracle.y_at(slowdown) <= dynamic.y_at(slowdown) * (1 + 1e-9)
+        assert dynamic.y_at(slowdown) < static.y_at(slowdown)
+    # static degrades linearly with the straggler; dynamic stays sub-linear
+    assert static.y_at(6.0) / static.y_at(1.0) > 5.0
+    assert dynamic.y_at(6.0) / dynamic.y_at(1.0) < 2.5
+
+
+def _make_system(mode: str):
+    config = tiny_config(hidden_size=64, num_heads=8, ffn_dim=128, num_layers=8)
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    cluster = ClusterSpec.homogeneous(4, gflops=0.05, bandwidth_mbps=500)
+    trace = spike_trace(4, 8, victim=0, slowdown=4.0)
+    system = AdaptiveVoltageSystem(model, cluster, trace=trace, mode=mode)
+    ids = np.arange(2, 66)
+    return system, ids
+
+
+@pytest.mark.parametrize("mode", ["static", "dynamic", "oracle"])
+def test_bench_adaptive_request(benchmark, mode):
+    system, ids = _make_system(mode)
+    result = benchmark(lambda: system.run(ids))
+    assert result.output.shape == (2,)

@@ -1,0 +1,76 @@
+"""Ablation — distributing efficient-attention variants (Section VII-C).
+
+Two results:
+
+1. the state All-Reduce that linear/Linformer Voltage adds is tiny and
+   independent of the sequence length (table);
+2. partitioned linear attention has NO constant cost term, so its measured
+   partition speed-up keeps scaling where softmax Eq. (3)'s plateaus.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.figures import _random_attention_params
+from repro.bench.harness import time_callable
+from repro.core.complexity import EQ3
+from repro.core.orders import attention_partition
+from repro.efficient import linear_attention as lin
+
+
+@pytest.mark.figure
+def test_regenerate_efficient_comm_table(benchmark):
+    table = benchmark.pedantic(figures.efficient_attention_comm_table, rounds=1, iterations=1)
+    print()
+    print(table.format_table(precision=1))
+    gather = table.series_by_label("output All-Gather (all variants)")
+    linear_state = table.series_by_label("+ linear-attention state All-Reduce")
+    # All-Gather grows with N; the state All-Reduce does not
+    assert gather.y_at(800) > gather.y_at(100)
+    assert linear_state.y_at(800) == pytest.approx(linear_state.y_at(100))
+
+
+@pytest.mark.figure
+def test_measured_linear_attention_scales_past_naive_plateau(benchmark):
+    """Per-device linear-attention work halves when the slice halves; the
+    naive softmax partition's does not (its K/V cost is fixed)."""
+    rng = np.random.default_rng(0)
+    f, num_heads, head_dim, n = 1024, 8, 128, 300
+    params = _random_attention_params(num_heads, head_dim, f, rng)
+    x = rng.normal(size=(n, f)).astype(np.float32)
+
+    def measure():
+        results = {}
+        for p in (150, 30):
+            slices = [(0, p), (p, n)]  # this device's slice is the first
+            t_linear = time_callable(
+                lambda: lin.linear_attention_local_state(x, 0, p, params), repeats=3
+            )
+            t_naive = time_callable(
+                lambda: attention_partition(x, 0, p, params, EQ3), repeats=3
+            )
+            results[p] = (t_linear, t_naive)
+        return results
+
+    results = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lin_ratio = results[150][0] / results[30][0]
+    naive_ratio = results[150][1] / results[30][1]
+    print(f"\n5x smaller slice: linear-attn work ratio {lin_ratio:.2f}x, "
+          f"naive softmax ratio {naive_ratio:.2f}x (5.0x would be perfect scaling)")
+    # linear attention scales markedly closer to proportionally than naive
+    assert lin_ratio > naive_ratio * 1.3
+
+
+def test_bench_linear_attention_full(benchmark, rng):
+    params = _random_attention_params(8, 128, 1024, rng)
+    x = rng.normal(size=(200, 1024)).astype(np.float32)
+    out = benchmark(lambda: lin.linear_attention_full(x, params))
+    assert out.shape == (200, 1024)
+
+
+def test_bench_linear_attention_local_state(benchmark, rng):
+    params = _random_attention_params(8, 128, 1024, rng)
+    x = rng.normal(size=(200, 1024)).astype(np.float32)
+    state = benchmark(lambda: lin.linear_attention_local_state(x, 0, 34, params))
+    assert state.s.shape == (8, 128, 128)

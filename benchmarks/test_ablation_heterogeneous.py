@@ -1,0 +1,44 @@
+"""Ablation — partition schemes under device heterogeneity.
+
+The paper evaluates only homogeneous clusters and flags dynamic schemes as
+future work; this bench quantifies the even-split penalty on skewed
+clusters and benchmarks the makespan-optimal planner.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.core.layer import OrderPolicy
+from repro.core.planner import makespan_optimal_scheme
+from repro.models.config import bert_large_config
+
+
+@pytest.mark.figure
+def test_regenerate_heterogeneity_ablation(benchmark):
+    ablation = benchmark.pedantic(figures.ablation_heterogeneous, rounds=1, iterations=1)
+    print()
+    print(ablation.format_table())
+    even = ablation.series_by_label("even 1/K")
+    proportional = ablation.series_by_label("speed-proportional")
+    optimal = ablation.series_by_label("makespan-optimal")
+    for ratio in even.xs:
+        assert optimal.y_at(ratio) <= even.y_at(ratio) * (1 + 1e-9)
+        assert optimal.y_at(ratio) <= proportional.y_at(ratio) * (1 + 1e-9)
+    # at 4x skew the even split leaves large latency on the table
+    assert even.y_at(4.0) / optimal.y_at(4.0) > 1.15
+
+
+def test_bench_makespan_planner(benchmark):
+    config = bert_large_config()
+    speeds = [13.0, 26.0, 26.0, 52.0, 52.0, 104.0]
+    scheme = benchmark(
+        lambda: makespan_optimal_scheme(config, 202, speeds, policy=OrderPolicy())
+    )
+    assert scheme.num_devices == 6
+
+
+def test_bench_makespan_planner_large_cluster(benchmark):
+    config = bert_large_config()
+    speeds = [10.0 + i for i in range(16)]
+    scheme = benchmark(lambda: makespan_optimal_scheme(config, 512, speeds))
+    assert sum(p.length for p in scheme.positions(512)) == 512

@@ -1,0 +1,70 @@
+"""Ablation — adaptive computation-order selection (Theorem 2).
+
+DESIGN.md calls out the adaptive order choice as the core design decision;
+this bench quantifies what fixing the order would cost, in both FLOPs
+(exact) and wall-clock (measured kernels).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import figures
+from repro.bench.figures import _random_attention_params
+from repro.bench.harness import time_callable
+from repro.core import complexity
+from repro.core.complexity import EQ3, EQ8
+from repro.core.orders import attention_partition
+
+
+@pytest.mark.figure
+def test_regenerate_order_ablation(benchmark):
+    ablation = benchmark.pedantic(figures.ablation_order_choice, rounds=1, iterations=1)
+    print()
+    print(ablation.format_table(precision=2))
+    adaptive = ablation.series_by_label("adaptive (Theorem 2)")
+    eq3 = ablation.series_by_label("fixed Eq.(3)")
+    eq8 = ablation.series_by_label("fixed Eq.(8)")
+    for x in adaptive.xs:
+        assert adaptive.y_at(x) <= eq3.y_at(x) + 1e-9
+        assert adaptive.y_at(x) <= eq8.y_at(x) + 1e-9
+
+
+@pytest.mark.figure
+def test_measured_switch_point_agrees_with_theorem2(benchmark):
+    """Time both orders across partition sizes: the faster one (by a clear
+    margin) must be the one Theorem 2 predicts."""
+    rng = np.random.default_rng(1)
+    n, f, fh, h = 300, 1024, 64, 16
+    params = _random_attention_params(h, fh, f, rng)
+    x = rng.normal(size=(n, f)).astype(np.float32)
+    def sweep():
+        disagreements = 0
+        checked = 0
+        for p in (5, 15, 30, 75, 150, 300):
+            t3 = time_callable(lambda: attention_partition(x, 0, p, params, EQ3), repeats=3)
+            t8 = time_callable(lambda: attention_partition(x, 0, p, params, EQ8), repeats=3)
+            predicted_eq8 = complexity.theorem2_prefers_reordered(n, p, f, fh)
+            if abs(t3 - t8) / max(t3, t8) > 0.25:  # only score clear-cut cases
+                checked += 1
+                if (t8 < t3) != predicted_eq8:
+                    disagreements += 1
+            print(f"P={p:4d}: eq3={t3 * 1e3:7.3f} ms, eq8={t8 * 1e3:7.3f} ms, "
+                  f"theorem2 says {'eq8' if predicted_eq8 else 'eq3'}")
+        return disagreements, checked
+
+    disagreements, checked = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    assert disagreements == 0
+    assert checked >= 1  # at least one decisive point on any sane host
+
+
+def test_bench_order_selection_overhead(benchmark):
+    """Algorithm 1's selection rule must be effectively free at runtime —
+    this was the paper's argument for the closed form over the DP."""
+    result = benchmark(lambda: complexity.select_order(200, 34, 1024, 64))
+    assert result in (EQ3, EQ8)
+
+
+def test_bench_matrix_chain_dp_alternative(benchmark):
+    """The DP the closed form replaces (orders of magnitude slower)."""
+    result = benchmark(lambda: complexity.matrix_chain_min_cost([34, 1024, 64, 1024, 200]))
+    assert result > 0

@@ -1,0 +1,46 @@
+"""Fig. 5 — inference latency vs network bandwidth at K=6.
+
+Regenerates the three sub-figures (with the single-device dashed line) and
+benchmarks the bandwidth sweep itself.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.workloads import paper_workloads
+
+WORKLOADS = paper_workloads()
+
+
+@pytest.mark.figure
+def test_regenerate_figure5(benchmark):
+    """Regenerate Fig. 5 and check the paper's crossovers: Voltage < TP
+    everywhere; Voltage wins from 400 Mbps; TP needs ~1000 Mbps."""
+    fig5_results = benchmark.pedantic(figures.figure5, rounds=1, iterations=1)
+    for fig in fig5_results.values():
+        print()
+        print(fig.format_table())
+    for key, fig in fig5_results.items():
+        voltage = fig.series_by_label("Voltage")
+        tensor = fig.series_by_label("Tensor Parallelism")
+        single = fig.series_by_label("Single Device")
+        for bandwidth in voltage.xs:
+            assert voltage.y_at(bandwidth) < tensor.y_at(bandwidth), (key, bandwidth)
+        assert voltage.y_at(400) < single.y_at(400), key
+        assert tensor.y_at(500) > single.y_at(500), key
+
+
+def test_bench_bandwidth_sweep_bert(benchmark):
+    def sweep():
+        return figures.figure5(
+            bandwidths=(200, 400, 600, 800, 1000),
+            workloads={"bert": WORKLOADS["bert"]},
+        )
+
+    results = benchmark(sweep)
+    assert "bert" in results
+
+
+def test_bench_full_three_model_sweep(benchmark):
+    results = benchmark(lambda: figures.figure5(bandwidths=(200, 500, 1000)))
+    assert len(results) == 3

@@ -1,0 +1,56 @@
+"""Greedy text generation served by Voltage, one Algorithm-2 pass per token.
+
+The paper measures a single forward pass; autoregressive decoding is just
+that pass repeated with a growing sequence.  This example serves GPT-2
+greedy generation through the distributed system and verifies the emitted
+tokens are identical to local generation — position-wise partitioning is
+exact, so distribution never changes what the model says.
+
+It also shows the causal subtlety: each device's partition builds its
+attention mask from *absolute* positions (a partition starting at position
+30 may attend to positions 0..30).
+
+Run:
+    python examples/distributed_generation_gpt2.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.models import GPT2Model, gpt2_config
+from repro.systems import VoltageSystem
+
+
+def main() -> None:
+    config = gpt2_config().scaled(num_layers=4, vocab_size=1000)
+    print(f"building GPT-2 ({config.num_layers} layers, causal, pre-LN) ...")
+    model = GPT2Model(config, rng=np.random.default_rng(0))
+    cluster = ClusterSpec.homogeneous(4, bandwidth_mbps=500)
+    system = VoltageSystem(model, cluster)
+
+    prompt = model.tokenizer.encode("the edge devices cooperate to", max_length=32)
+    max_new_tokens = 6
+
+    print(f"prompt ids: {list(prompt)}")
+    ids = list(prompt)
+    total_latency = 0.0
+    for step in range(max_new_tokens):
+        result = system.run(np.asarray(ids, dtype=np.int64))
+        next_id = int(np.argmax(result.output))
+        ids.append(next_id)
+        total_latency += result.total_seconds
+        print(
+            f"  step {step + 1}: sequence length {len(ids) - 1:3d} -> token {next_id:4d} "
+            f"(simulated {result.total_seconds * 1e3:6.1f} ms, "
+            f"orders: {result.meta['orders'][0]})"
+        )
+
+    local = model.generate(prompt, max_new_tokens=max_new_tokens)
+    assert np.array_equal(np.asarray(ids), local), "distributed decoding diverged!"
+    print(f"\ndistributed and local generation agree: {[int(t) for t in local]}")
+    print(f"total simulated decoding latency: {total_latency * 1e3:.1f} ms "
+          f"({max_new_tokens} tokens on {cluster.num_devices} devices)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Distributed sequence-to-sequence translation with cross-attention.
+
+The paper covers encoder-only and decoder-only models; this example runs the
+original encoder–decoder transformer through a Voltage-style deployment:
+encoder layers partition by source position, decoder layers by target
+position, and cross-attention reads the encoder memory that the final
+encoder All-Gather left replicated on every device — no extra communication.
+
+It also demonstrates the cross-attention-specific order analysis: when the
+decoded prefix is longer than the source sentence (P > N_mem), the
+self-attention Theorem 2 no longer applies verbatim and the system selects
+the order by direct enumeration.
+
+Run:
+    python examples/translation_seq2seq.py
+"""
+
+import numpy as np
+
+from repro.cluster import ClusterSpec
+from repro.core import complexity
+from repro.models.config import tiny_config
+from repro.models.seq2seq import Seq2SeqTransformer
+from repro.systems.seq2seq import Seq2SeqVoltageSystem
+
+
+def main() -> None:
+    config = tiny_config(
+        hidden_size=64, num_heads=8, num_layers=3, ffn_dim=128, vocab_size=200
+    ).scaled(activation="relu")
+    print(f"building seq2seq transformer ({config.num_layers}+{config.num_layers} layers) ...")
+    model = Seq2SeqTransformer(config, rng=np.random.default_rng(0))
+    cluster = ClusterSpec.homogeneous(3, gflops=0.05, bandwidth_mbps=500)
+    system = Seq2SeqVoltageSystem(model, cluster)
+
+    source = model.tokenizer.encode("the edge devices translate together")
+    print(f"source ids: {list(map(int, source))}")
+
+    # local reference translation
+    local = model.greedy_translate(source, max_length=8)
+
+    # distributed translation: one Voltage encoder+decoder pass per token
+    ids = [1]  # BOS
+    total_latency = 0.0
+    while len(ids) < 8:
+        result = system.run((source, np.asarray(ids, dtype=np.int64)))
+        next_id = int(np.argmax(result.output))
+        total_latency += result.total_seconds
+        n_tgt = len(ids)
+        cross_order = complexity.select_cross_order(
+            len(source), max(1, n_tgt // cluster.num_devices),
+            config.hidden_size, config.head_dim,
+        )
+        print(f"  prefix {n_tgt:2d} -> token {next_id:3d}  "
+              f"({result.total_seconds * 1e3:6.1f} ms, cross-attn order: "
+              f"{'Eq.8-style' if cross_order.is_reordered else cross_order.score.name})")
+        ids.append(next_id)
+        if next_id == 2:  # EOS
+            break
+
+    assert np.array_equal(np.asarray(ids), local), "distributed translation diverged!"
+    print(f"\ndistributed == local translation: {list(map(int, ids))}")
+    print(f"total simulated latency: {total_latency * 1e3:.1f} ms across "
+          f"{cluster.num_devices} devices")
+
+
+if __name__ == "__main__":
+    main()

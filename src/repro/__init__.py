@@ -1,0 +1,41 @@
+"""Voltage — distributed transformer inference for edge devices.
+
+A full reproduction of *"When the Edge Meets Transformers: Distributed
+Inference with Transformer Models"* (Hu & Li, ICDCS 2024), including:
+
+- :mod:`repro.tensor` — a NumPy neural-network inference substrate;
+- :mod:`repro.models` — BERT-Large, GPT-2 and ViT re-implementations;
+- :mod:`repro.core` — the paper's contribution: position-wise layer
+  partitioning with adaptive attention computation orders (Theorems 1–3,
+  Algorithms 1–2);
+- :mod:`repro.cluster` — a simulated multi-device edge cluster (device
+  compute model, bandwidth/latency links, collectives, event-driven latency
+  simulation and a thread-backed real execution runtime);
+- :mod:`repro.systems` — end-to-end inference systems: single-device,
+  Voltage (plus adaptive, fault-tolerant and seq2seq variants), naive
+  position partitioning, tensor / pipeline / data parallelism;
+- :mod:`repro.efficient` — linear-attention and Linformer variants
+  distributed Voltage-style;
+- :mod:`repro.compress` — int8 quantization and head pruning, orthogonal
+  to distribution;
+- :mod:`repro.serving` — arrival processes and queueing simulation for
+  request streams;
+- :mod:`repro.bench` — the harness regenerating every figure and table of
+  the paper's evaluation.
+
+Quickstart::
+
+    from repro.models import BertModel, tiny_config
+    from repro.systems import VoltageSystem
+    from repro.cluster import ClusterSpec
+
+    model = BertModel(tiny_config(), num_classes=2)
+    cluster = ClusterSpec.homogeneous(num_devices=4, gflops=5.0, bandwidth_mbps=500)
+    system = VoltageSystem(model, cluster)
+    result = system.run(model.encode_text("hello edge inference"))
+    print(result.output, result.latency.total_seconds)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,144 @@
+"""Command-line entry point: regenerate any figure or table of the paper.
+
+Usage::
+
+    voltage-bench fig4              # latency vs devices, all three models
+    voltage-bench fig5              # latency vs bandwidth at K=6
+    voltage-bench fig6              # MHA speed-up (wall-clock measured)
+    voltage-bench fig6 --model     # same, FLOP-model based (fast)
+    voltage-bench comm              # communication volume table
+    voltage-bench ablations         # order-choice + heterogeneity ablations
+    voltage-bench serving           # Poisson-arrival serving sweep (ours)
+    voltage-bench profile           # host-side span profile vs cost model
+    voltage-bench headline          # Section VI-B text claims
+    voltage-bench all --json out/   # everything, plus JSON dumps
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.bench import figures
+from repro.bench.harness import FigureResult
+
+__all__ = ["main"]
+
+
+def _emit(results: dict[str, FigureResult] | FigureResult, json_dir: Path | None) -> None:
+    items = results.values() if isinstance(results, dict) else [results]
+    for fig in items:
+        print(fig.format_table())
+        print()
+        if json_dir is not None:
+            json_dir.mkdir(parents=True, exist_ok=True)
+            (json_dir / f"{fig.name}.json").write_text(fig.to_json())
+
+
+def _run_headline(json_dir: Path | None) -> None:
+    summary = figures.headline_summary()
+    print("== Section VI-B headline claims (measured here) ==")
+    for key, stats in summary["workloads"].items():
+        print(
+            f"  {stats['label']:>10s}: single {stats['single_device_s']:.3f}s, "
+            f"Voltage best {stats['voltage_best_s']:.3f}s "
+            f"(-{stats['voltage_reduction_pct']:.1f}%), "
+            f"TP@K=6 {stats['tp_at_k6_over_single']:.2f}x single"
+        )
+    print(f"  communication reduction: {summary['comm_reduction_factor']:.1f}x (paper: 4x)")
+    print(f"  TP slowdown at 200 Mbps: {summary['tp_slowdown_at_200mbps']:.2f}x (paper: 4.2x)")
+    for bandwidth, flags in summary["bert_bandwidth_crossovers"].items():
+        marks = []
+        if flags["voltage_wins"]:
+            marks.append("Voltage<single")
+        if flags["tp_wins"]:
+            marks.append("TP<single")
+        print(f"    {bandwidth:>5} Mbps: {', '.join(marks) if marks else 'neither wins'}")
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        (json_dir / "headline.json").write_text(json.dumps(summary, indent=2))
+
+
+def _run_profile(num_layers: int, n_words: int) -> None:
+    """Profile a real BERT forward pass and reconcile with the cost model."""
+    import numpy as np
+
+    from repro.bench.profiler import profile_model_forward
+    from repro.bench.workloads import random_text
+    from repro.cluster.device import calibrate_matmul_gflops
+    from repro.core.layer import PartitionedLayerExecutor
+    from repro.models import BertModel, bert_large_config
+
+    config = bert_large_config().scaled(num_layers=num_layers)
+    print(f"profiling BERT-Large[:{num_layers} layers] on this host ...")
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    ids = model.encode_text(random_text(n_words))
+    profile_model_forward(model, ids)  # warm-up
+    _, profiler = profile_model_forward(model, ids)
+    print(profiler.table())
+
+    host_gflops = calibrate_matmul_gflops()
+    layer_flops = PartitionedLayerExecutor(model.layers[0]).full_flops(len(ids))
+    modelled = layer_flops / (host_gflops * 1e9)
+    measured = profiler.spans["layer[0]"].mean_seconds
+    print(
+        f"\ncost-model check: layer[0] measured {measured * 1e3:.2f} ms vs "
+        f"modelled {modelled * 1e3:.2f} ms at the calibrated "
+        f"{host_gflops:.1f} GFLOP/s ({measured / modelled:.2f}x)"
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="voltage-bench",
+        description="Regenerate the evaluation figures/tables of the Voltage paper.",
+    )
+    parser.add_argument(
+        "target",
+        choices=["fig4", "fig5", "fig6", "comm", "ablations", "serving", "profile",
+                 "headline", "all"],
+        help="which experiment to run",
+    )
+    parser.add_argument("--layers", type=int, default=4,
+                        help="profile: transformer layers to instantiate (default 4)")
+    parser.add_argument("--words", type=int, default=200,
+                        help="profile: input length in words (default 200)")
+    parser.add_argument("--json", type=Path, default=None, metavar="DIR",
+                        help="also write per-figure JSON files into DIR")
+    parser.add_argument("--model", action="store_true",
+                        help="fig6: use the FLOP model instead of wall-clock timing")
+    parser.add_argument("--bandwidth", type=float, default=500.0,
+                        help="fig4/comm: network bandwidth in Mbps (default 500)")
+    parser.add_argument("--devices", type=int, default=6,
+                        help="fig4: max device count; fig5: fixed device count")
+    args = parser.parse_args(argv)
+
+    fig6_mode = "model" if args.model else "measured"
+    if args.target in ("fig4", "all"):
+        _emit(figures.figure4(bandwidth_mbps=args.bandwidth, max_devices=args.devices), args.json)
+    if args.target in ("fig5", "all"):
+        _emit(figures.figure5(num_devices=args.devices), args.json)
+    if args.target in ("fig6", "all"):
+        _emit(figures.figure6(mode=fig6_mode), args.json)
+    if args.target in ("comm", "all"):
+        _emit(figures.comm_volume_table(), args.json)
+        _emit(figures.memory_tradeoff_table(), args.json)
+    if args.target in ("ablations", "all"):
+        _emit(figures.ablation_order_choice(), args.json)
+        _emit(figures.ablation_heterogeneous(), args.json)
+        _emit(figures.ablation_dynamic_schemes(), args.json)
+        _emit(figures.efficient_attention_comm_table(), args.json)
+        _emit(figures.ablation_comm_precision(), args.json)
+    if args.target in ("serving", "all"):
+        _emit(figures.serving_tail_latency(), args.json)
+    if args.target == "profile":
+        _run_profile(args.layers, args.words)
+    if args.target in ("headline", "all"):
+        _run_headline(args.json)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

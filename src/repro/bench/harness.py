@@ -1,0 +1,123 @@
+"""Benchmark harness primitives: series containers, timing, table printing.
+
+Every figure/table runner in :mod:`repro.bench.figures` returns a
+:class:`FigureResult` so the pytest benchmarks, the CLI and EXPERIMENTS.md
+all consume one representation.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from collections.abc import Callable, Sequence
+
+__all__ = ["Series", "FigureResult", "time_callable", "format_aligned"]
+
+
+@dataclass
+class Series:
+    """One labelled curve: ordered (x, y) pairs."""
+
+    label: str
+    points: list[tuple[float, float]] = field(default_factory=list)
+
+    def add(self, x: float, y: float) -> None:
+        self.points.append((float(x), float(y)))
+
+    @property
+    def xs(self) -> list[float]:
+        return [p[0] for p in self.points]
+
+    @property
+    def ys(self) -> list[float]:
+        return [p[1] for p in self.points]
+
+    def y_at(self, x: float) -> float:
+        for px, py in self.points:
+            if px == x:
+                return py
+        raise KeyError(f"series {self.label!r} has no point at x={x}")
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure/table: labelled series over a shared x-axis."""
+
+    name: str
+    title: str
+    xlabel: str
+    ylabel: str
+    series: list[Series] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def series_by_label(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series labelled {label!r} in {self.name}")
+
+    def format_table(self, precision: int = 4) -> str:
+        """Render the series as an aligned text table (x down, series across)."""
+        xs = sorted({x for s in self.series for x in s.xs})
+        header = [self.xlabel] + [s.label for s in self.series]
+        rows = []
+        for x in xs:
+            row = [f"{x:g}"]
+            for s in self.series:
+                try:
+                    row.append(f"{s.y_at(x):.{precision}f}")
+                except KeyError:
+                    row.append("-")
+            rows.append(row)
+        lines = [f"== {self.name}: {self.title} ({self.ylabel}) =="]
+        lines.append(format_aligned([header] + rows))
+        for note in self.notes:
+            lines.append(f"note: {note}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "xlabel": self.xlabel,
+            "ylabel": self.ylabel,
+            "series": {s.label: s.points for s in self.series},
+            "notes": self.notes,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+
+def format_aligned(rows: Sequence[Sequence[str]]) -> str:
+    """Left-align the first column, right-align the rest, pad to width."""
+    if not rows:
+        return ""
+    widths = [max(len(row[col]) for row in rows) for col in range(len(rows[0]))]
+    lines = []
+    for row in rows:
+        cells = [row[0].ljust(widths[0])] + [
+            cell.rjust(width) for cell, width in zip(row[1:], widths[1:])
+        ]
+        lines.append("  ".join(cells))
+    return "\n".join(lines)
+
+
+def time_callable(
+    fn: Callable[[], object], repeats: int = 5, number: int = 3, warmup: int = 1
+) -> float:
+    """Best-of-``repeats`` mean time of ``number`` calls to ``fn`` (seconds).
+
+    Min-of-repeats filters scheduler noise — standard micro-benchmark
+    practice and what Fig. 6's speed-up ratios need for stability.
+    """
+    for _ in range(warmup):
+        fn()
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(number):
+            fn()
+        best = min(best, (time.perf_counter() - start) / number)
+    return best

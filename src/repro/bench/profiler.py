@@ -1,0 +1,130 @@
+"""A lightweight span profiler for real (host) executions.
+
+The simulator predicts latency from FLOPs; the profiler *measures* where a
+real NumPy execution spends its time, span by span, so the two can be
+reconciled (e.g. checking that attention really dominates a layer, or that
+Eq. (8) really shifts time out of the K/V projections).
+
+Usage::
+
+    profiler = Profiler()
+    with profiler.span("attention"):
+        ...
+    with profiler.span("ffn"):
+        ...
+    print(profiler.table())
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bench.harness import format_aligned
+
+__all__ = ["SpanStats", "Profiler", "profile_model_forward"]
+
+
+@dataclass
+class SpanStats:
+    """Aggregated timings of one labelled span."""
+
+    count: int = 0
+    total_seconds: float = 0.0
+    min_seconds: float = float("inf")
+    max_seconds: float = 0.0
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_seconds += seconds
+        self.min_seconds = min(self.min_seconds, seconds)
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.count if self.count else 0.0
+
+
+class Profiler:
+    """Collects nested-agnostic labelled spans with wall-clock timing."""
+
+    def __init__(self) -> None:
+        self.spans: dict[str, SpanStats] = {}
+        self._order: list[str] = []
+
+    @contextmanager
+    def span(self, label: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            if label not in self.spans:
+                self.spans[label] = SpanStats()
+                self._order.append(label)
+            self.spans[label].record(elapsed)
+
+    def seconds(self, label: str) -> float:
+        if label not in self.spans:
+            raise KeyError(f"no span labelled {label!r}")
+        return self.spans[label].total_seconds
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(stats.total_seconds for stats in self.spans.values())
+
+    def fraction(self, label: str) -> float:
+        total = self.total_seconds
+        return self.seconds(label) / total if total else 0.0
+
+    def table(self) -> str:
+        """Aligned text table: label, calls, total/mean ms, share."""
+        total = self.total_seconds
+        rows = [["span", "calls", "total ms", "mean ms", "share"]]
+        for label in self._order:
+            stats = self.spans[label]
+            share = stats.total_seconds / total if total else 0.0
+            rows.append([
+                label,
+                str(stats.count),
+                f"{stats.total_seconds * 1e3:.3f}",
+                f"{stats.mean_seconds * 1e3:.3f}",
+                f"{share:.1%}",
+            ])
+        return format_aligned(rows)
+
+    def merge(self, other: "Profiler") -> "Profiler":
+        merged = Profiler()
+        for source in (self, other):
+            for label in source._order:
+                stats = source.spans[label]
+                if label not in merged.spans:
+                    merged.spans[label] = SpanStats()
+                    merged._order.append(label)
+                target = merged.spans[label]
+                target.count += stats.count
+                target.total_seconds += stats.total_seconds
+                target.min_seconds = min(target.min_seconds, stats.min_seconds)
+                target.max_seconds = max(target.max_seconds, stats.max_seconds)
+        return merged
+
+
+def profile_model_forward(model, raw) -> tuple[np.ndarray, Profiler]:
+    """Run a :class:`TransformerModel` forward pass with per-stage spans.
+
+    Spans: ``preprocess``, ``layer[i]`` for each transformer layer, and
+    ``postprocess`` — the same decomposition the latency simulator uses, so
+    measured shares can be compared against modelled ones.
+    """
+    profiler = Profiler()
+    with profiler.span("preprocess"):
+        x = model.preprocess(raw)
+    for index, layer in enumerate(model.layers):
+        with profiler.span(f"layer[{index}]"):
+            x = layer(x)
+    with profiler.span("postprocess"):
+        output = model.postprocess(model.final_norm(x))
+    return output, profiler

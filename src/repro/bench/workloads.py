@@ -1,0 +1,95 @@
+"""Workload definitions matching the paper's experiment settings.
+
+Section VI-A: BERT-Large-Uncased and GPT2 classify "a random string with
+200 words"; ViT classifies one 224×224 image; batch size 1; six devices with
+a 500 Mbps default bandwidth cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.config import (
+    TransformerConfig,
+    bert_large_config,
+    gpt2_config,
+    vit_base_config,
+)
+
+__all__ = ["Workload", "paper_workloads", "random_text", "random_image", "random_token_ids"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One evaluation model with its input size and terminal-side FLOPs."""
+
+    key: str
+    label: str
+    config: TransformerConfig
+    n: int                 # transformer sequence length during the experiment
+    pre_flops: int = 0     # terminal pre-processing matmul FLOPs
+    post_flops: int = 0    # terminal post-processing matmul FLOPs
+
+
+def paper_workloads() -> dict[str, Workload]:
+    """The three Fig. 4/5 workloads with exact sequence lengths.
+
+    - BERT: 200 words + [CLS]/[SEP] → N = 202; pooler+classifier on exit.
+    - ViT: 224×224 image → 196 patches + CLS → N = 197; patch projection on
+      entry, classifier on exit.
+    - GPT2: 200 tokens, causal; tied LM head on the last position on exit.
+    """
+    bert = bert_large_config()
+    vit = vit_base_config()
+    gpt2 = gpt2_config()
+    num_classes = 2
+    image_classes = 1000
+    patch_dim = 3 * 16 * 16
+    return {
+        "bert": Workload(
+            key="bert",
+            label="BERT-Large",
+            config=bert,
+            n=202,
+            post_flops=bert.hidden_size * bert.hidden_size
+            + bert.hidden_size * num_classes,
+        ),
+        "vit": Workload(
+            key="vit",
+            label="ViT-B/16",
+            config=vit,
+            n=197,
+            pre_flops=196 * patch_dim * vit.hidden_size,
+            post_flops=vit.hidden_size * image_classes,
+        ),
+        "gpt2": Workload(
+            key="gpt2",
+            label="GPT-2",
+            config=gpt2,
+            n=200,
+            post_flops=gpt2.hidden_size * gpt2.vocab_size,
+        ),
+    }
+
+
+def random_text(num_words: int = 200, seed: int = 0) -> str:
+    """The paper's text workload: a random ``num_words``-word string."""
+    rng = np.random.default_rng(seed)
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    return " ".join(
+        "".join(letters[i] for i in rng.integers(0, 26, size=int(length)))
+        for length in rng.integers(2, 10, size=num_words)
+    )
+
+
+def random_token_ids(n: int, vocab_size: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, vocab_size, size=n).astype(np.int64)
+
+
+def random_image(size: int = 224, channels: int = 3, seed: int = 0) -> np.ndarray:
+    """The paper's vision workload: one random ``size×size`` image."""
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(channels, size, size)).astype(np.float32)

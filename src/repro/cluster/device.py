@@ -1,0 +1,69 @@
+"""Edge device compute model and calibration.
+
+The paper's testbed is six Compute-Canada VMs with one vCPU each running
+PyTorch CPU inference.  We model a device by its *effective dense-matmul
+throughput* in GFLOP/s — for CPU transformer inference, matmul time is the
+overwhelming cost (the paper's own Γ(·) analysis counts only matmuls) — and
+provide a micro-benchmark to calibrate that number on the host machine so
+simulated latencies land in a realistic absolute range.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["DeviceSpec", "calibrate_matmul_gflops", "PAPER_EDGE_DEVICE_GFLOPS"]
+
+#: Effective throughput that reproduces the paper's absolute latencies
+#: (BERT-Large, N=200, single device ≈ 2.4 s on a 1-vCPU VM).
+PAPER_EDGE_DEVICE_GFLOPS = 26.0
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """One computing device: a name and an effective matmul throughput.
+
+    ``overhead_seconds`` models fixed per-layer framework overhead (kernel
+    launch, Python dispatch) — small but it keeps tiny-partition compute
+    times from going unrealistically to zero.
+    """
+
+    name: str
+    gflops: float
+    overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.gflops <= 0:
+            raise ValueError(f"device throughput must be positive, got {self.gflops}")
+        if self.overhead_seconds < 0:
+            raise ValueError(f"overhead must be >= 0, got {self.overhead_seconds}")
+
+    def compute_seconds(self, flops: float) -> float:
+        """Time to execute ``flops`` floating point operations."""
+        if flops < 0:
+            raise ValueError(f"flops must be >= 0, got {flops}")
+        if flops == 0:
+            return 0.0
+        return flops / (self.gflops * 1e9) + self.overhead_seconds
+
+
+def calibrate_matmul_gflops(size: int = 384, repeats: int = 5) -> float:
+    """Measure the host's effective float32 matmul throughput (GFLOP/s).
+
+    Used by the benchmark harness so that *measured* wall-clock numbers
+    (Fig. 6) and *simulated* latencies (Figs. 4–5) share a consistent
+    compute-speed scale on whatever machine runs the reproduction.
+    """
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(size, size)).astype(np.float32)
+    b = rng.normal(size=(size, size)).astype(np.float32)
+    a @ b  # warm-up
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - start)
+    return (size**3) / best / 1e9

@@ -1,0 +1,70 @@
+"""Edge network model: bandwidth-limited, latency-bearing links.
+
+The paper caps each VM's bandwidth at 500 Mbps (default) and varies it from
+200 to 1000 Mbps in Fig. 5.  We model the network as pairwise links where
+every transfer pays a fixed per-message latency α plus a serialisation time
+``bytes / bandwidth`` — the classic α–β cost model used by the collective
+communication literature (and implicitly by the paper's ``(K-1)NF/K``
+volume accounting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["NetworkSpec"]
+
+
+#: Calibrated against the paper's BERT-Large curves (see EXPERIMENTS.md):
+#: per-message latency of a TCP round on an edge LAN, and the fraction of
+#: nominal bandwidth a PyTorch-gloo-style transport actually achieves.
+DEFAULT_EDGE_LATENCY_SECONDS = 4e-3
+DEFAULT_BANDWIDTH_EFFICIENCY = 0.55
+
+
+@dataclass(frozen=True)
+class NetworkSpec:
+    """Link parameters shared by all device pairs.
+
+    ``bandwidth_mbps`` is the per-device NIC rate in *megabits* per second
+    (matching the paper's axis labels); ``latency_seconds`` is the one-way
+    per-message cost — for edge networks (Wi-Fi / consumer Ethernet plus a
+    TCP round per message) a few milliseconds is typical, and it is what
+    makes tensor parallelism's chatty 2-All-Reduce-per-layer pattern lose
+    even when volume alone would not.  ``efficiency`` is the achieved
+    fraction of nominal bandwidth (protocol overhead, TCP dynamics).
+    """
+
+    bandwidth_mbps: float = 500.0
+    latency_seconds: float = DEFAULT_EDGE_LATENCY_SECONDS
+    efficiency: float = DEFAULT_BANDWIDTH_EFFICIENCY
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {self.bandwidth_mbps}")
+        if self.latency_seconds < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency_seconds}")
+        if not (0 < self.efficiency <= 1):
+            raise ValueError(f"efficiency must be in (0, 1], got {self.efficiency}")
+
+    @property
+    def bytes_per_second(self) -> float:
+        return self.bandwidth_mbps * 1e6 / 8.0 * self.efficiency
+
+    def transfer_seconds(self, nbytes: float) -> float:
+        """One point-to-point message of ``nbytes``: α + bytes/β."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_seconds + nbytes / self.bytes_per_second
+
+    def serialization_seconds(self, nbytes: float) -> float:
+        """Pure wire time without the per-message α (for pipelined steps)."""
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be >= 0, got {nbytes}")
+        return nbytes / self.bytes_per_second
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "NetworkSpec":
+        """Copy with a different bandwidth — the Fig. 5 sweep knob."""
+        return replace(self, bandwidth_mbps=bandwidth_mbps)

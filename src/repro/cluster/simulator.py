@@ -1,0 +1,123 @@
+"""Latency simulation for distributed inference protocols.
+
+Two layers of machinery:
+
+- :class:`ClusterSim` — bulk-synchronous helpers matching the structure of
+  Algorithm 2 (and of tensor parallelism): per-layer *compute makespan*
+  (the slowest device gates the All-Gather) followed by collective time.
+  This is exact for barrier-style protocols, which is what both Voltage and
+  tensor-parallel inference are.
+
+- :class:`EventEngine` / :class:`Resource` — a small discrete-event core
+  for protocols that are *not* bulk-synchronous (pipeline parallelism's
+  staggered microbatches), where devices and links are serially-reusable
+  resources.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Callable, Sequence
+
+from repro.cluster import collectives
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["ClusterSim", "Resource", "EventEngine"]
+
+
+class ClusterSim:
+    """Cost helpers for bulk-synchronous protocols on a :class:`ClusterSpec`."""
+
+    def __init__(self, cluster: ClusterSpec):
+        self.cluster = cluster
+
+    @property
+    def k(self) -> int:
+        return self.cluster.num_devices
+
+    # -- compute -------------------------------------------------------------
+
+    def compute_makespan(self, flops_per_device: Sequence[float]) -> float:
+        """Barrier compute time: every device must finish before the collective."""
+        if len(flops_per_device) != self.k:
+            raise ValueError(
+                f"expected {self.k} per-device FLOP counts, got {len(flops_per_device)}"
+            )
+        return max(
+            device.compute_seconds(flops)
+            for device, flops in zip(self.cluster.devices, flops_per_device)
+        )
+
+    def terminal_compute(self, flops: float) -> float:
+        return self.cluster.terminal_device.compute_seconds(flops)
+
+    # -- collectives ---------------------------------------------------------
+
+    def all_gather(self, chunk_bytes: Sequence[float]) -> float:
+        return collectives.all_gather_seconds(self.cluster.network, chunk_bytes)
+
+    def all_reduce(self, total_bytes: float) -> float:
+        return collectives.all_reduce_seconds(self.cluster.network, total_bytes, self.k)
+
+    def broadcast(self, nbytes: float) -> float:
+        return collectives.broadcast_seconds(self.cluster.network, nbytes, self.k)
+
+    def gather(self, chunk_bytes: Sequence[float]) -> float:
+        return collectives.gather_seconds(self.cluster.network, chunk_bytes)
+
+    def point_to_point(self, nbytes: float) -> float:
+        return self.cluster.network.transfer_seconds(nbytes)
+
+
+class Resource:
+    """A serially-reusable simulated resource (device core or network link)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.available_at = 0.0
+
+    def reserve(self, earliest_start: float, duration: float) -> tuple[float, float]:
+        """Occupy the resource for ``duration`` at the first feasible time.
+
+        Returns ``(begin, end)``; subsequent reservations cannot begin before
+        ``end`` (FIFO discipline, which is how a single CPU core or a TCP
+        stream behaves).
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be >= 0, got {duration}")
+        begin = max(earliest_start, self.available_at)
+        end = begin + duration
+        self.available_at = end
+        return begin, end
+
+
+class EventEngine:
+    """A minimal discrete-event loop: schedule callbacks at absolute times."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._queue: list[tuple[float, int, Callable[[], None]]] = []
+        self._counter = itertools.count()
+
+    def at(self, time: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run at absolute time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time} < now={self.now}")
+        heapq.heappush(self._queue, (time, next(self._counter), callback))
+
+    def after(self, delay: float, callback: Callable[[], None]) -> None:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        self.at(self.now + delay, callback)
+
+    def run(self, max_events: int = 1_000_000) -> float:
+        """Drain the queue; returns the time of the last event."""
+        events = 0
+        while self._queue:
+            events += 1
+            if events > max_events:
+                raise RuntimeError(f"event budget exceeded ({max_events}); likely a cycle")
+            time, _, callback = heapq.heappop(self._queue)
+            self.now = time
+            callback()
+        return self.now

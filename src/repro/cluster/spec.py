@@ -1,0 +1,108 @@
+"""Cluster specification: devices + network, mirroring the paper's testbed."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+from repro.cluster.device import PAPER_EDGE_DEVICE_GFLOPS, DeviceSpec
+from repro.cluster.network import DEFAULT_EDGE_LATENCY_SECONDS, NetworkSpec
+
+__all__ = ["ClusterSpec", "paper_cluster"]
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A set of computing devices plus the network connecting them.
+
+    The *terminal* device (Fig. 3) performs pre/post-processing; the paper
+    uses "another device in the same network", so by default it has the same
+    speed as the computing devices.
+    """
+
+    devices: tuple[DeviceSpec, ...]
+    network: NetworkSpec
+    terminal: DeviceSpec | None = None
+
+    def __post_init__(self) -> None:
+        if not self.devices:
+            raise ValueError("a cluster needs at least one computing device")
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def homogeneous(
+        cls,
+        num_devices: int,
+        gflops: float = PAPER_EDGE_DEVICE_GFLOPS,
+        bandwidth_mbps: float = 500.0,
+        latency_seconds: float = DEFAULT_EDGE_LATENCY_SECONDS,
+        overhead_seconds: float = 0.0,
+    ) -> "ClusterSpec":
+        """The paper's setting: K identical 1-vCPU VMs on a capped network."""
+        devices = tuple(
+            DeviceSpec(f"device-{i}", gflops=gflops, overhead_seconds=overhead_seconds)
+            for i in range(num_devices)
+        )
+        network = NetworkSpec(bandwidth_mbps=bandwidth_mbps, latency_seconds=latency_seconds)
+        terminal = DeviceSpec("terminal", gflops=gflops, overhead_seconds=overhead_seconds)
+        return cls(devices=devices, network=network, terminal=terminal)
+
+    @classmethod
+    def heterogeneous(
+        cls,
+        gflops: Sequence[float],
+        bandwidth_mbps: float = 500.0,
+        latency_seconds: float = DEFAULT_EDGE_LATENCY_SECONDS,
+    ) -> "ClusterSpec":
+        """Devices with differing speeds — the heterogeneity extension."""
+        devices = tuple(
+            DeviceSpec(f"device-{i}", gflops=g) for i, g in enumerate(gflops)
+        )
+        network = NetworkSpec(bandwidth_mbps=bandwidth_mbps, latency_seconds=latency_seconds)
+        terminal = DeviceSpec("terminal", gflops=max(gflops))
+        return cls(devices=devices, network=network, terminal=terminal)
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def num_devices(self) -> int:
+        return len(self.devices)
+
+    @property
+    def device_gflops(self) -> list[float]:
+        return [d.gflops for d in self.devices]
+
+    @property
+    def terminal_device(self) -> DeviceSpec:
+        return self.terminal if self.terminal is not None else self.devices[0]
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "ClusterSpec":
+        """Copy with a different network bandwidth (Fig. 5 sweep)."""
+        return replace(self, network=self.network.with_bandwidth(bandwidth_mbps))
+
+    def with_num_devices(self, num_devices: int) -> "ClusterSpec":
+        """Copy truncated/extended to ``num_devices`` (Fig. 4 sweep).
+
+        Extension replicates the first device's spec — only meaningful for
+        homogeneous clusters.
+        """
+        if num_devices < 1:
+            raise ValueError(f"device count must be >= 1, got {num_devices}")
+        if num_devices <= self.num_devices:
+            return replace(self, devices=self.devices[:num_devices])
+        template = self.devices[0]
+        extra = tuple(
+            DeviceSpec(f"device-{i}", template.gflops, template.overhead_seconds)
+            for i in range(self.num_devices, num_devices)
+        )
+        return replace(self, devices=self.devices + extra)
+
+
+def paper_cluster(num_devices: int = 6, bandwidth_mbps: float = 500.0) -> ClusterSpec:
+    """The evaluation cluster: six 1-vCPU VMs, 500 Mbps default bandwidth."""
+    return ClusterSpec.homogeneous(
+        num_devices=num_devices,
+        gflops=PAPER_EDGE_DEVICE_GFLOPS,
+        bandwidth_mbps=bandwidth_mbps,
+    )

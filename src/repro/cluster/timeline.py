@@ -1,0 +1,82 @@
+"""Latency accounting: per-phase breakdowns of one inference request.
+
+Every inference system produces a :class:`LatencyBreakdown` so that the
+benchmarks can report not just end-to-end latency (the paper's figures) but
+also the compute/communication split that explains *why* tensor parallelism
+loses at edge bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Phase", "LatencyBreakdown"]
+
+_KINDS = ("compute", "comm", "overhead")
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One timed segment of the critical path."""
+
+    name: str
+    kind: str  # "compute" | "comm" | "overhead"
+    seconds: float
+    layer: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
+        if self.seconds < 0:
+            raise ValueError(f"phase duration must be >= 0, got {self.seconds}")
+
+
+@dataclass
+class LatencyBreakdown:
+    """An ordered list of critical-path phases for one request."""
+
+    phases: list[Phase] = field(default_factory=list)
+
+    def add(self, name: str, kind: str, seconds: float, layer: int | None = None) -> None:
+        self.phases.append(Phase(name=name, kind=kind, seconds=seconds, layer=layer))
+
+    def seconds_of_kind(self, kind: str) -> float:
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        return sum(p.seconds for p in self.phases if p.kind == kind)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+    @property
+    def compute_seconds(self) -> float:
+        return self.seconds_of_kind("compute")
+
+    @property
+    def comm_seconds(self) -> float:
+        return self.seconds_of_kind("comm")
+
+    @property
+    def comm_fraction(self) -> float:
+        total = self.total_seconds
+        return self.comm_seconds / total if total > 0 else 0.0
+
+    def merged(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        """Concatenate two breakdowns (e.g. per-step traces of generation)."""
+        return LatencyBreakdown(phases=self.phases + other.phases)
+
+    def summary(self) -> str:
+        """Human-readable multi-line report used by the examples."""
+        lines = [
+            f"total: {self.total_seconds * 1e3:9.2f} ms "
+            f"(compute {self.compute_seconds * 1e3:.2f} ms, "
+            f"comm {self.comm_seconds * 1e3:.2f} ms, "
+            f"{self.comm_fraction:.0%} communication)"
+        ]
+        for phase in self.phases:
+            layer = f" layer={phase.layer}" if phase.layer is not None else ""
+            lines.append(
+                f"  {phase.kind:8s} {phase.seconds * 1e3:9.3f} ms  {phase.name}{layer}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Attention-head pruning (Michel et al., "Are Sixteen Heads Really Better
+than One?" — the paper's reference [18]).
+
+Removing heads shrinks the Q/K/V projection width from ``H·F_H`` to
+``kept·F_H`` while the residual width stays F — exactly the compressed-model
+shape the paper's Section VII-A says still benefits from Voltage.  The
+pruned layer drops into every inference system unchanged, and the
+partitioned executor reads head geometry from the module, so Theorem 2's
+order selection and the FLOP accounting stay correct.
+
+Head importance, absent task gradients, is scored by the weight-magnitude
+proxy ``‖W_Q^i‖_F·‖W_K^i‖_F + ‖W_V^i‖_F·‖W_O^i‖_F`` (the two matrix-product
+paths a head contributes to).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.base import TransformerModel
+from repro.models.layer import TransformerLayer
+
+__all__ = ["PruneReport", "head_importance", "prune_attention_heads_", "prune_model_heads_"]
+
+
+@dataclass
+class PruneReport:
+    """Which heads survived, per layer, and the resulting FLOP fraction."""
+
+    kept_heads: list[list[int]]
+    original_heads: int
+
+    @property
+    def kept_fraction(self) -> float:
+        total = sum(len(kept) for kept in self.kept_heads)
+        return total / (self.original_heads * len(self.kept_heads))
+
+
+def head_importance(attention: MultiHeadSelfAttention) -> np.ndarray:
+    """Magnitude-proxy importance score per head (higher = keep)."""
+    h, fh = attention.num_heads, attention.head_dim
+    scores = np.zeros(h)
+    for i in range(h):
+        cols = slice(i * fh, (i + 1) * fh)
+        wq = attention.query.weight.data[:, cols]
+        wk = attention.key.weight.data[:, cols]
+        wv = attention.value.weight.data[:, cols]
+        wo = attention.output.weight.data[cols, :]
+        scores[i] = (
+            np.linalg.norm(wq) * np.linalg.norm(wk)
+            + np.linalg.norm(wv) * np.linalg.norm(wo)
+        )
+    return scores
+
+
+def prune_attention_heads_(layer: TransformerLayer, keep: list[int]) -> None:
+    """In-place: replace the layer's attention with one keeping ``keep`` heads.
+
+    ``keep`` is a list of head indices (order preserved after sorting);
+    sliced Q/K/V columns and output-projection rows are copied over, and all
+    biases are preserved (the output bias is head-independent).
+    """
+    attention = layer.attention
+    h, fh = attention.num_heads, attention.head_dim
+    keep = sorted(set(keep))
+    if not keep:
+        raise ValueError("must keep at least one attention head")
+    if keep[0] < 0 or keep[-1] >= h:
+        raise ValueError(f"head indices {keep} out of range for H={h}")
+
+    cols = np.concatenate([np.arange(i * fh, (i + 1) * fh) for i in keep])
+    pruned = MultiHeadSelfAttention(
+        attention.hidden_size,
+        num_heads=len(keep),
+        head_dim=fh,
+        bias=attention.query.bias is not None,
+    )
+    pruned.query.weight.copy_(attention.query.weight.data[:, cols])
+    pruned.key.weight.copy_(attention.key.weight.data[:, cols])
+    pruned.value.weight.copy_(attention.value.weight.data[:, cols])
+    pruned.output.weight.copy_(attention.output.weight.data[cols, :])
+    if attention.query.bias is not None:
+        pruned.query.bias.copy_(attention.query.bias.data[cols])
+        pruned.key.bias.copy_(attention.key.bias.data[cols])
+        pruned.value.bias.copy_(attention.value.bias.data[cols])
+        pruned.output.bias.copy_(attention.output.bias.data)
+    layer.attention = pruned
+
+
+def prune_model_heads_(
+    model: TransformerModel, keep_fraction: float = 0.5
+) -> PruneReport:
+    """Prune every layer to its top-``keep_fraction`` heads by importance."""
+    if not (0 < keep_fraction <= 1):
+        raise ValueError(f"keep_fraction must be in (0, 1], got {keep_fraction}")
+    kept_per_layer = []
+    original = model.layers[0].attention.num_heads
+    for layer in model.layers:
+        scores = head_importance(layer.attention)
+        keep_count = max(1, round(keep_fraction * len(scores)))
+        keep = sorted(np.argsort(scores)[::-1][:keep_count].tolist())
+        prune_attention_heads_(layer, keep)
+        kept_per_layer.append(keep)
+    return PruneReport(kept_heads=kept_per_layer, original_heads=original)

@@ -1,0 +1,46 @@
+"""Voltage's core: position-wise partitioning with adaptive attention orders.
+
+This package is the paper's primary contribution:
+
+- :mod:`repro.core.complexity` — the Γ(·) FLOP model, Theorems 1–3;
+- :mod:`repro.core.orders` — executable, numerically-equivalent attention
+  computation orders (Eq. 3, Eq. 8 and all eliminated candidates);
+- :mod:`repro.core.partition` — ratio-vector partition schemes (Section V-B);
+- :mod:`repro.core.layer` — Algorithm 1, the partitioned transformer layer;
+- :mod:`repro.core.planner` — communication accounting and
+  heterogeneity-aware scheme optimisation.
+"""
+
+from repro.core.complexity import (
+    EQ3,
+    EQ8,
+    AttentionOrder,
+    ScoreOrder,
+    ValueOrder,
+    select_order,
+    theorem2_prefers_reordered,
+)
+from repro.core.layer import OrderPolicy, PartitionedLayerExecutor
+from repro.core.orders import AttentionParams, attention_eq3, attention_eq8, attention_full
+from repro.core.partition import Partition, PartitionScheme
+from repro.core.planner import comm_report, makespan_optimal_scheme
+
+__all__ = [
+    "EQ3",
+    "EQ8",
+    "AttentionOrder",
+    "AttentionParams",
+    "OrderPolicy",
+    "Partition",
+    "PartitionScheme",
+    "PartitionedLayerExecutor",
+    "ScoreOrder",
+    "ValueOrder",
+    "attention_eq3",
+    "attention_eq8",
+    "attention_full",
+    "comm_report",
+    "makespan_optimal_scheme",
+    "select_order",
+    "theorem2_prefers_reordered",
+]

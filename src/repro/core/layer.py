@@ -1,0 +1,143 @@
+"""Algorithm 1: the partitioned transformer layer.
+
+Given the whole input sequence ``x`` and a desired output partition, the
+executor:
+
+1. selects the cheapest attention computation order via Theorem 2
+   (:func:`repro.core.complexity.select_order`),
+2. computes the attention output for just those positions,
+3. pushes the result through the output projection, residual links, layer
+   norms and the FFN — all position-wise, so they run on the partition only.
+
+The executor wraps an existing full :class:`repro.models.layer.TransformerLayer`
+and *shares its parameters* — this mirrors Voltage's deployment model where
+every device holds a complete replica of the weights (Section V-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core import complexity
+from repro.core.complexity import EQ3, EQ8, AttentionOrder
+from repro.core.orders import attention_partition
+from repro.core.partition import Partition
+
+if TYPE_CHECKING:  # avoid a runtime circular import (models depends on core)
+    from repro.models.layer import TransformerLayer
+
+__all__ = ["OrderPolicy", "PartitionedLayerExecutor"]
+
+
+@dataclass(frozen=True)
+class OrderPolicy:
+    """How the executor picks the attention computation order.
+
+    ``mode`` is one of:
+
+    - ``"adaptive"`` — Theorem 2's rule (Algorithm 1, lines 3–7); the default;
+    - ``"naive"``    — always Eq. (3) (the "Naive" baseline of Fig. 6);
+    - ``"reordered"``— always Eq. (8) (used by the order-choice ablation).
+    """
+
+    mode: str = "adaptive"
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("adaptive", "naive", "reordered"):
+            raise ValueError(f"unknown order policy {self.mode!r}")
+
+    def order_for(self, n: int, p: int, f: int, fh: int) -> AttentionOrder:
+        if self.mode == "naive":
+            return EQ3
+        if self.mode == "reordered":
+            return EQ8
+        return complexity.select_order(n, p, f, fh)
+
+
+class PartitionedLayerExecutor:
+    """Executes one transformer layer for a position partition (Algorithm 1)."""
+
+    def __init__(self, layer: TransformerLayer, policy: OrderPolicy | None = None):
+        self.layer = layer
+        self.config = layer.config
+        self.policy = policy if policy is not None else OrderPolicy()
+
+    def select_order(self, n: int, p: int) -> AttentionOrder:
+        """The order Algorithm 1 would pick for an (N, P) instance.
+
+        Head geometry is read from the attention module, not the config,
+        so head-pruned layers (H·F_H < F) select correctly.
+        """
+        if p < 1:
+            raise ValueError(f"partition must be non-empty, got P={p}")
+        attention = self.layer.attention
+        return self.policy.order_for(n, p, self.config.hidden_size, attention.head_dim)
+
+    def forward_partition(
+        self,
+        x: np.ndarray,
+        partition: Partition,
+        order: AttentionOrder | None = None,
+    ) -> np.ndarray:
+        """Compute layer-output rows ``partition`` from the full input ``x``.
+
+        Equivalent to ``layer.forward(x)[partition.start:partition.stop]`` up
+        to float rounding — the property tests assert this for every order
+        and both norm styles.
+        """
+        n = x.shape[0]
+        if partition.stop > n:
+            raise ValueError(f"partition {partition} out of range for N={n}")
+        if partition.is_empty:
+            return np.zeros((0, self.config.hidden_size), dtype=x.dtype)
+        if order is None:
+            order = self.select_order(n, partition.length)
+
+        layer = self.layer
+        causal = self.config.is_causal
+        params = layer.attention.attention_params()
+        xp = x[partition.start : partition.stop]
+
+        if self.config.norm_style == "post":
+            attended = attention_partition(
+                x, partition.start, partition.stop, params, order, causal=causal
+            )
+            projected = layer.attention.output(attended)
+            y = layer.ln1(projected + xp)
+            return layer.ln2(y + layer.ffn(y))
+
+        # pre-LN (GPT-2 / ViT): attention reads LN(x), so normalise the full
+        # sequence first (position-wise, O(N·F) — not a parallelism bottleneck)
+        normed = layer.ln1(x)
+        attended = attention_partition(
+            normed, partition.start, partition.stop, params, order, causal=causal
+        )
+        y = xp + layer.attention.output(attended)
+        return y + layer.ffn(layer.ln2(y))
+
+    def partition_flops(self, n: int, p: int, order: AttentionOrder | None = None) -> int:
+        """Matmul FLOPs this executor spends on a (N, P) partition.
+
+        Feeds the cluster latency simulator; uses the same Γ(·) accounting as
+        the paper's analysis.
+        """
+        cfg = self.config
+        attention = self.layer.attention
+        if order is None:
+            order = self.select_order(n, p)
+        return complexity.layer_flops(
+            n, p, cfg.hidden_size, attention.head_dim, attention.num_heads,
+            cfg.ffn_dim, order=order,
+        )
+
+    def full_flops(self, n: int) -> int:
+        """Matmul FLOPs of the unpartitioned layer (single-device baseline)."""
+        cfg = self.config
+        attention = self.layer.attention
+        return complexity.layer_flops(
+            n, n, cfg.hidden_size, attention.head_dim, attention.num_heads,
+            cfg.ffn_dim, order=EQ3,
+        )

@@ -1,0 +1,131 @@
+"""Per-device memory accounting: the cost of Voltage's weight replication.
+
+Section V-C notes that Voltage "replicates the full model weights on each
+device" to avoid tensor parallelism's backward-style synchronisation.  The
+paper does not quantify what that costs in memory — this module does, since
+on real edge devices (the paper's VMs have 7.6 GB) memory is exactly what
+decides whether replication is feasible:
+
+- **weights**: Voltage stores the full model per device; tensor parallelism
+  stores ~1/K per device (attention head slices + FFN slices, with the
+  layer norms replicated);
+- **activations**: both need the full ``(N, F)`` layer input after their
+  collectives; Voltage's partition intermediates are ``P``-sized where
+  tensor parallelism's are head-sliced;
+- **workspace**: the attention score matrix — ``(P, N)`` per head for a
+  Voltage partition, ``(N, N)`` per local head for tensor parallelism.
+
+All numbers are analytic (config-driven) and cross-checked against real
+``Module.num_bytes()`` by the tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.config import TransformerConfig
+
+__all__ = ["DeviceMemory", "voltage_device_memory", "tensor_parallel_device_memory", "memory_report"]
+
+_BYTES = 4  # float32
+
+
+def _layer_weight_params(config: TransformerConfig) -> int:
+    """Scalar weights of one transformer layer (projections + FFN + LNs)."""
+    f, ffn = config.hidden_size, config.ffn_dim
+    attention = 4 * (f * f + f)          # Q, K, V, O with biases
+    ffn_params = f * ffn + ffn + ffn * f + f
+    norms = 2 * 2 * f
+    return attention + ffn_params + norms
+
+
+def _embedding_params(config: TransformerConfig) -> int:
+    params = config.vocab_size * config.hidden_size
+    params += config.max_positions * config.hidden_size
+    if config.type_vocab_size:
+        params += config.type_vocab_size * config.hidden_size
+    return params
+
+
+@dataclass(frozen=True)
+class DeviceMemory:
+    """One device's steady-state memory footprint for one request."""
+
+    weight_bytes: float
+    activation_bytes: float
+    workspace_bytes: float
+
+    @property
+    def total_bytes(self) -> float:
+        return self.weight_bytes + self.activation_bytes + self.workspace_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / 1e6
+
+
+def voltage_device_memory(
+    config: TransformerConfig, n: int, k: int, include_embeddings: bool = False
+) -> DeviceMemory:
+    """Voltage: full weight replica; P-row partition intermediates.
+
+    Embeddings live on the terminal (Fig. 3 pre-processing), so by default
+    they are excluded from *computing-device* footprints for both systems;
+    pass ``include_embeddings=True`` for a whole-model-per-device figure.
+    """
+    if k < 1 or n < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    weights = config.num_layers * _layer_weight_params(config)
+    if include_embeddings:
+        weights += _embedding_params(config)
+    p = max(1, -(-n // k))  # ceil
+    f, fh, h = config.hidden_size, config.head_dim, config.num_heads
+    # full layer input + own partition output + FFN intermediate on P rows
+    activations = n * f + p * f + p * config.ffn_dim
+    # per-head (P, N) score matrix, all heads materialised batched
+    workspace = h * p * n + p * h * fh
+    return DeviceMemory(
+        weight_bytes=weights * _BYTES,
+        activation_bytes=activations * _BYTES,
+        workspace_bytes=workspace * _BYTES,
+    )
+
+
+def tensor_parallel_device_memory(
+    config: TransformerConfig, n: int, k: int
+) -> DeviceMemory:
+    """Tensor parallelism: ~1/K weight shard; full-N head-sliced intermediates.
+
+    Embeddings are excluded (terminal-side), matching
+    :func:`voltage_device_memory`'s default.
+    """
+    if k < 1 or n < 1:
+        raise ValueError(f"need n >= 1 and k >= 1, got n={n}, k={k}")
+    f, fh, h = config.hidden_size, config.head_dim, config.num_heads
+    local_heads = -(-h // k)  # ceil — the largest shard
+    local_ffn = -(-config.ffn_dim // k)
+    attention = 4 * f * local_heads * fh + 3 * local_heads * fh + f
+    ffn_params = f * local_ffn + local_ffn + local_ffn * f + f
+    norms = 2 * 2 * f  # layer norms replicated on every device
+    weights = config.num_layers * (attention + ffn_params + norms)
+    activations = n * f + n * local_ffn  # full input + local FFN intermediate
+    workspace = local_heads * n * n + n * local_heads * fh  # (N, N) scores per local head
+    return DeviceMemory(
+        weight_bytes=weights * _BYTES,
+        activation_bytes=activations * _BYTES,
+        workspace_bytes=workspace * _BYTES,
+    )
+
+
+def memory_report(config: TransformerConfig, n: int, device_counts=(1, 2, 4, 6)) -> dict:
+    """Side-by-side per-device memory for a sweep of K (MB)."""
+    report = {}
+    for k in device_counts:
+        voltage = voltage_device_memory(config, n, k)
+        tensor = tensor_parallel_device_memory(config, n, k)
+        report[k] = {
+            "voltage_mb": voltage.total_mb,
+            "tensor_parallel_mb": tensor.total_mb,
+            "replication_overhead": voltage.total_mb / tensor.total_mb,
+        }
+    return report

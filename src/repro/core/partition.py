@@ -1,0 +1,169 @@
+"""Partition schemes: ratio vectors mapping devices to position ranges.
+
+Section V-B of the paper: because input sequences vary in length, the scheme
+is expressed as ratios ``P = [p_1, ..., p_K]`` with ``0 <= p_i <= 1`` and
+``Σ p_i = 1``; device ``i`` computes positions in
+``[N·Σ_{j<i} p_j, N·Σ_{j<=i} p_j)``.  The induced ranges are pairwise
+disjoint and cover all positions, so the full layer output can be rebuilt
+exactly from the partitions (the paper's bijectivity conditions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+__all__ = ["Partition", "PartitionScheme", "split_evenly"]
+
+
+def split_evenly(total: int, k: int) -> list[int]:
+    """Split ``total`` items into ``k`` near-equal counts (array_split rule).
+
+    The first ``total % k`` parts receive one extra item.  Shared by the
+    tensor-parallel head/FFN sharding and the analytic cost models so both
+    sides agree on uneven splits (e.g. 16 heads over 5 devices).
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if total < 0:
+        raise ValueError(f"total must be >= 0, got {total}")
+    base, extra = divmod(total, k)
+    return [base + (1 if i < extra else 0) for i in range(k)]
+
+_RATIO_TOLERANCE = 1e-9
+
+
+@dataclass(frozen=True, order=True)
+class Partition:
+    """A half-open position range ``[start, stop)`` assigned to one device."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid partition [{self.start}, {self.stop})")
+
+    @property
+    def length(self) -> int:
+        return self.stop - self.start
+
+    @property
+    def is_empty(self) -> bool:
+        return self.stop == self.start
+
+    def positions(self) -> range:
+        return range(self.start, self.stop)
+
+    def overlaps(self, other: "Partition") -> bool:
+        return self.start < other.stop and other.start < self.stop
+
+    def __contains__(self, position: int) -> bool:
+        return self.start <= position < self.stop
+
+    def __repr__(self) -> str:
+        return f"Partition[{self.start}:{self.stop})"
+
+
+class PartitionScheme:
+    """An immutable vector of workload ratios, one per device.
+
+    >>> scheme = PartitionScheme.even(4)
+    >>> [p.length for p in scheme.positions(200)]
+    [50, 50, 50, 50]
+    """
+
+    def __init__(self, ratios: Sequence[float]):
+        ratios = tuple(float(r) for r in ratios)
+        if not ratios:
+            raise ValueError("a partition scheme needs at least one device")
+        for i, ratio in enumerate(ratios):
+            if not (-_RATIO_TOLERANCE <= ratio <= 1.0 + _RATIO_TOLERANCE):
+                raise ValueError(f"ratio p_{i}={ratio} outside [0, 1]")
+        total = sum(ratios)
+        if abs(total - 1.0) > 1e-6:
+            raise ValueError(f"ratios must sum to 1, got {total}")
+        # renormalise away float dust so cumulative boundaries hit N exactly
+        self._ratios = tuple(max(0.0, r) / total for r in ratios)
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def even(cls, num_devices: int) -> "PartitionScheme":
+        """The paper's evaluation setting: each device computes 1/K of positions."""
+        if num_devices < 1:
+            raise ValueError(f"device count must be >= 1, got {num_devices}")
+        return cls([1.0 / num_devices] * num_devices)
+
+    @classmethod
+    def proportional(cls, weights: Sequence[float]) -> "PartitionScheme":
+        """Ratios proportional to ``weights`` (e.g. device GFLOP/s).
+
+        This implements the heterogeneity extension the paper flags as
+        future work: a device twice as fast receives twice the positions,
+        which minimises the compute makespan when communication is
+        symmetric.
+        """
+        weights = [float(w) for w in weights]
+        if not weights or any(w < 0 for w in weights):
+            raise ValueError(f"weights must be non-negative and non-empty: {weights}")
+        total = sum(weights)
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        return cls([w / total for w in weights])
+
+    @classmethod
+    def single(cls) -> "PartitionScheme":
+        """Degenerate one-device scheme (the single-device baseline)."""
+        return cls([1.0])
+
+    # -- accessors ------------------------------------------------------------
+
+    @property
+    def ratios(self) -> tuple[float, ...]:
+        return self._ratios
+
+    @property
+    def num_devices(self) -> int:
+        return len(self._ratios)
+
+    def positions(self, n: int) -> list[Partition]:
+        """Materialise the ranges for a length-``n`` input.
+
+        Boundaries are ``round(N · cumulative_ratio)`` so the ranges are
+        disjoint, ordered, and exactly cover ``[0, n)`` for any ratio vector
+        — the paper's two coverage conditions.
+        """
+        if n < 0:
+            raise ValueError(f"sequence length must be >= 0, got {n}")
+        boundaries = [0]
+        cumulative = 0.0
+        for ratio in self._ratios:
+            cumulative += ratio
+            boundaries.append(round(cumulative * n))
+        boundaries[-1] = n  # guard against float dust at the top end
+        return [Partition(a, b) for a, b in zip(boundaries[:-1], boundaries[1:])]
+
+    def partition_for(self, device_index: int, n: int) -> Partition:
+        """Range assigned to one device (Algorithm 2, line 6)."""
+        return self.positions(n)[device_index]
+
+    def max_partition_length(self, n: int) -> int:
+        """Longest range — the straggler that bounds the compute makespan."""
+        return max(p.length for p in self.positions(n))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PartitionScheme) and self._ratios == other._ratios
+
+    def __hash__(self) -> int:
+        return hash(self._ratios)
+
+    def __len__(self) -> int:
+        return len(self._ratios)
+
+    def __iter__(self):
+        return iter(self._ratios)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{r:.4f}" for r in self._ratios)
+        return f"PartitionScheme([{inner}])"

@@ -1,0 +1,43 @@
+"""Efficient-transformer variants distributed Voltage-style (Section VII-C).
+
+The paper argues that linear-complexity attention variants "follow the
+overall transformer architecture and workflow except for modifications to
+the attention phase", so Voltage extends to them with minor changes.  This
+package works the extension out concretely:
+
+- :mod:`repro.efficient.linear_attention` — kernelised linear attention,
+  distributed by summing per-device (F_H×F_H) reduction states;
+- :mod:`repro.efficient.linformer` — low-rank Linformer attention,
+  distributed by summing per-device compressed key/value projections;
+- :mod:`repro.efficient.layer` — the drop-in layer and the two-phase
+  (reduce-state All-Reduce, then position-wise apply) partitioned executor.
+
+Both variants distribute *more* cheaply than softmax attention: the state
+All-Reduce is independent of the sequence length, so — unlike Eq. (3)'s
+``2NFF_H`` constant term — no part of the per-device cost resists scaling.
+"""
+
+from repro.efficient.layer import EfficientTransformerLayer, PartitionedEfficientLayerExecutor
+from repro.efficient.linear_attention import (
+    LinearAttentionState,
+    linear_attention_full,
+    linear_attention_partition,
+)
+from repro.efficient.linformer import (
+    LinformerProjections,
+    LinformerState,
+    linformer_full,
+    linformer_partition,
+)
+
+__all__ = [
+    "EfficientTransformerLayer",
+    "LinearAttentionState",
+    "LinformerProjections",
+    "LinformerState",
+    "PartitionedEfficientLayerExecutor",
+    "linear_attention_full",
+    "linear_attention_partition",
+    "linformer_full",
+    "linformer_partition",
+]

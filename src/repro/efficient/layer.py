@@ -1,0 +1,143 @@
+"""Transformer layers with efficient attention, partitioned Voltage-style.
+
+Combines :mod:`repro.efficient.linear_attention` / `linformer` with the
+standard position-wise machinery (output projection, residuals, layer norm,
+FFN) into a drop-in layer, and provides the partitioned executor
+implementing the two-phase distributed protocol:
+
+1. **reduce phase** — each device computes the attention state from its own
+   position slice; a tiny All-Reduce sums the states (H·F_H² elements for
+   linear attention, 2·H·r·F_H for Linformer — both independent of N);
+2. **apply phase** — each device computes its output partition
+   position-wise, followed by the usual output All-Gather.
+
+The executor exposes the same ``forward_partition`` contract as
+:class:`repro.core.layer.PartitionedLayerExecutor`, so the equivalence
+tests run the identical tiling checks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.partition import Partition, PartitionScheme
+from repro.efficient import linear_attention as lin
+from repro.efficient import linformer as lfm
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.config import TransformerConfig
+from repro.models.layer import FeedForward
+from repro.tensor.layers import LayerNorm
+from repro.tensor.module import Module
+
+__all__ = ["EfficientTransformerLayer", "PartitionedEfficientLayerExecutor"]
+
+_KINDS = ("linear", "linformer")
+
+
+class EfficientTransformerLayer(Module):
+    """A post-LN transformer layer with a linear/Linformer attention core."""
+
+    def __init__(
+        self,
+        config: TransformerConfig,
+        kind: str = "linear",
+        linformer_rank: int = 32,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if kind not in _KINDS:
+            raise ValueError(f"kind must be one of {_KINDS}, got {kind!r}")
+        if config.is_causal:
+            raise ValueError(
+                "this efficient-layer implementation covers the encoder "
+                "(non-causal) setting the paper's models other than GPT-2 use"
+            )
+        self.config = config
+        self.kind = kind
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.attention = MultiHeadSelfAttention(
+            config.hidden_size, config.num_heads, rng=rng, bias=config.attention_bias
+        )
+        self.projections = (
+            lfm.LinformerProjections.random(linformer_rank, config.max_positions, rng=rng)
+            if kind == "linformer"
+            else None
+        )
+        self.ffn = FeedForward(config.hidden_size, config.ffn_dim, config.activation, rng=rng)
+        self.ln1 = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.ln2 = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+
+    def _attend_full(self, x: np.ndarray) -> np.ndarray:
+        params = self.attention.attention_params()
+        if self.kind == "linear":
+            return lin.linear_attention_full(x, params)
+        return lfm.linformer_full(x, params, self.projections)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        attended = self.attention.output(self._attend_full(x))
+        y = self.ln1(attended + x)
+        return self.ln2(y + self.ffn(y))
+
+    def state_comm_elements(self) -> int:
+        """Elements one state All-Reduce moves (the extra cost vs softmax
+        Voltage — tiny and N-independent)."""
+        cfg = self.config
+        if self.kind == "linear":
+            return lin.state_elements(cfg.num_heads, cfg.head_dim)
+        return lfm.state_elements(cfg.num_heads, self.projections.rank, cfg.head_dim)
+
+
+class PartitionedEfficientLayerExecutor:
+    """Two-phase distributed execution of an :class:`EfficientTransformerLayer`."""
+
+    def __init__(self, layer: EfficientTransformerLayer):
+        self.layer = layer
+        self.config = layer.config
+
+    def local_state(self, x: np.ndarray, part: Partition):
+        """Phase 1 (per device): the state reduced over its own slice."""
+        params = self.layer.attention.attention_params()
+        if self.layer.kind == "linear":
+            return lin.linear_attention_local_state(x, part.start, part.stop, params)
+        return lfm.linformer_local_state(
+            x, part.start, part.stop, params, self.layer.projections
+        )
+
+    def reduce_states(self, states: list):
+        """The All-Reduce: states are additive by construction."""
+        if not states:
+            raise ValueError("need at least one partial state")
+        total = states[0]
+        for state in states[1:]:
+            total = total + state
+        return total
+
+    def forward_partition(
+        self, x: np.ndarray, part: Partition, state=None
+    ) -> np.ndarray:
+        """Phase 2 (per device): its output rows, given the reduced state.
+
+        With ``state=None`` the full-sequence state is computed locally —
+        the single-device path; in the distributed protocol the caller
+        passes the All-Reduced state.
+        """
+        if part.is_empty:
+            return np.zeros((0, self.config.hidden_size), dtype=x.dtype)
+        layer = self.layer
+        params = layer.attention.attention_params()
+        if state is None:
+            state = self.local_state(x, Partition(0, x.shape[0]))
+        if layer.kind == "linear":
+            attended = lin.linear_attention_apply(x, part.start, part.stop, params, state)
+        else:
+            attended = lfm.linformer_apply(x, part.start, part.stop, params, state)
+        xp = x[part.start : part.stop]
+        y = layer.ln1(layer.attention.output(attended) + xp)
+        return layer.ln2(y + layer.ffn(y))
+
+    def forward_distributed(self, x: np.ndarray, scheme: PartitionScheme) -> np.ndarray:
+        """Emulate the whole two-phase protocol and reassemble the output."""
+        parts = scheme.positions(x.shape[0])
+        state = self.reduce_states([self.local_state(x, p) for p in parts if p.length])
+        tiles = [self.forward_partition(x, p, state=state) for p in parts]
+        return np.concatenate([t for t in tiles if t.shape[0]], axis=0)

@@ -1,0 +1,140 @@
+"""Linear attention (Katharopoulos et al., 2020) and its distribution.
+
+Section VII-C of the paper: efficient-transformer variants "follow the
+overall transformer architecture and workflow except for modifications to
+the attention phase, [so] Voltage can be easily extended to distribute them
+with minor changes to the customized attention procedures."  This module is
+that extension, worked out for the kernelised linear transformer:
+
+    LinAttn(x)_i = φ(q_i)ᵀ · S  /  (φ(q_i)ᵀ · z),
+    S = Σ_j φ(k_j) v_jᵀ  ∈ R^{F_H×F_H},     z = Σ_j φ(k_j) ∈ R^{F_H},
+
+with φ(u) = elu(u) + 1.  Because S and z are *sums over positions*, they
+distribute even better than softmax attention: each device reduces its own
+position slice locally and a single All-Reduce of the tiny (F_H×F_H + F_H)
+state — independent of N! — completes the attention.  The query side is
+position-wise and needs no further communication.
+
+Per-device cost: O(P·F·F_H + P·F_H²) — *no* constant N-term at all, unlike
+Eq. (3)'s 2NFF_H (Theorem 1).  Communication: H·(F_H² + F_H) elements per
+layer for the state All-Reduce plus the usual (K−1)NF/K output All-Gather.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.orders import AttentionParams, merge_heads, split_heads
+from repro.tensor import functional as F
+
+__all__ = [
+    "feature_map",
+    "LinearAttentionState",
+    "linear_attention_full",
+    "linear_attention_local_state",
+    "linear_attention_apply",
+    "linear_attention_partition",
+    "state_elements",
+]
+
+_EPS = 1e-6
+
+
+def feature_map(u: np.ndarray) -> np.ndarray:
+    """φ(u) = elu(u) + 1 — positive feature map of the linear transformer."""
+    return np.where(u > 0, u + 1.0, np.exp(np.minimum(u, 0.0)))
+
+
+@dataclass
+class LinearAttentionState:
+    """The distributable reduction state: S ∈ (H, F_H, F_H), z ∈ (H, F_H)."""
+
+    s: np.ndarray
+    z: np.ndarray
+
+    def __add__(self, other: "LinearAttentionState") -> "LinearAttentionState":
+        """States are additive — this is what makes the All-Reduce valid."""
+        return LinearAttentionState(self.s + other.s, self.z + other.z)
+
+    @property
+    def nbytes(self) -> int:
+        return self.s.nbytes + self.z.nbytes
+
+
+def state_elements(num_heads: int, head_dim: int) -> int:
+    """Elements moved per state All-Reduce: H·(F_H² + F_H) — N-independent."""
+    return num_heads * (head_dim * head_dim + head_dim)
+
+
+def _project(x: np.ndarray, params: AttentionParams) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    q = split_heads(F.linear(x, params.wq, params.bq), params.num_heads)
+    k = split_heads(F.linear(x, params.wk, params.bk), params.num_heads)
+    v = split_heads(F.linear(x, params.wv, params.bv), params.num_heads)
+    return feature_map(q), feature_map(k), v
+
+
+def linear_attention_local_state(
+    x: np.ndarray, start: int, stop: int, params: AttentionParams
+) -> LinearAttentionState:
+    """One device's partial reduction over its position slice [start, stop).
+
+    Only the slice's K/V projections are computed — cost O(P·F·F_H) — which
+    is the whole point: no device ever touches the full K, V matrices.
+    """
+    n = x.shape[0]
+    if not (0 <= start <= stop <= n):
+        raise ValueError(f"invalid slice [{start}, {stop}) for N={n}")
+    x_slice = x[start:stop]
+    k = split_heads(F.linear(x_slice, params.wk, params.bk), params.num_heads)
+    v = split_heads(F.linear(x_slice, params.wv, params.bv), params.num_heads)
+    phi_k = feature_map(k)
+    s = phi_k.transpose(0, 2, 1) @ v  # (H, F_H, F_H)
+    z = phi_k.sum(axis=1)  # (H, F_H)
+    return LinearAttentionState(s=s, z=z)
+
+
+def linear_attention_apply(
+    x: np.ndarray,
+    start: int,
+    stop: int,
+    params: AttentionParams,
+    state: LinearAttentionState,
+) -> np.ndarray:
+    """Query-side application for output rows [start, stop) — position-wise."""
+    xp = x[start:stop]
+    q = split_heads(F.linear(xp, params.wq, params.bq), params.num_heads)
+    phi_q = feature_map(q)  # (H, P, F_H)
+    numerator = phi_q @ state.s  # (H, P, F_H)
+    denominator = np.einsum("hpd,hd->hp", phi_q, state.z)[:, :, None] + _EPS
+    return merge_heads(numerator / denominator)
+
+
+def linear_attention_full(x: np.ndarray, params: AttentionParams) -> np.ndarray:
+    """Reference single-device linear attention over the whole sequence."""
+    state = linear_attention_local_state(x, 0, x.shape[0], params)
+    return linear_attention_apply(x, 0, x.shape[0], params, state)
+
+
+def linear_attention_partition(
+    x: np.ndarray,
+    start: int,
+    stop: int,
+    params: AttentionParams,
+    slices: list[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """Distributed-protocol emulation: local reductions → sum → apply.
+
+    ``slices`` is the position partition used for the state reduction (one
+    slice per device); by default the whole sequence is one slice.  The
+    result is identical regardless of how the reduction was partitioned —
+    the associativity property the protocol relies on.
+    """
+    if slices is None:
+        slices = [(0, x.shape[0])]
+    partials = [linear_attention_local_state(x, a, b, params) for a, b in slices]
+    state = partials[0]
+    for partial in partials[1:]:
+        state = state + partial
+    return linear_attention_apply(x, start, stop, params, state)

@@ -1,0 +1,152 @@
+"""Linformer (Wang et al., 2020) low-rank attention and its distribution.
+
+Linformer replaces the (N×N) attention matrix with a (N×r) one by
+projecting keys and values along the *sequence* axis with learned
+``E, F ∈ R^{r×N}``:
+
+    Attn(Q, E·K, F·V) — softmax over r columns instead of N.
+
+Distribution follows the same local-reduce pattern as linear attention:
+``E·K = Σ_d E[:, slice_d] · K[slice_d]`` is a sum of per-device partials, so
+each device projects only its own position slice and a single All-Reduce of
+the (H, r, F_H) compressed keys/values — again independent of N in the
+``F_H`` sense and *much* smaller than K, V — completes the attention.
+
+Per-device cost: O(P·F·F_H + P·r·F_H); communication: 2·H·r·F_H elements of
+state per layer plus the usual output All-Gather.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.orders import AttentionParams, merge_heads, split_heads
+from repro.tensor import functional as F
+
+__all__ = [
+    "LinformerProjections",
+    "LinformerState",
+    "linformer_local_state",
+    "linformer_apply",
+    "linformer_full",
+    "linformer_partition",
+    "state_elements",
+]
+
+
+@dataclass
+class LinformerProjections:
+    """The learned sequence-axis projections E (keys) and F (values)."""
+
+    e: np.ndarray  # (r, N_max)
+    f: np.ndarray  # (r, N_max)
+
+    def __post_init__(self) -> None:
+        if self.e.shape != self.f.shape:
+            raise ValueError(f"E/F shapes disagree: {self.e.shape} vs {self.f.shape}")
+
+    @property
+    def rank(self) -> int:
+        return self.e.shape[0]
+
+    @property
+    def max_length(self) -> int:
+        return self.e.shape[1]
+
+    @classmethod
+    def random(
+        cls, rank: int, max_length: int, rng: np.random.Generator | None = None
+    ) -> "LinformerProjections":
+        rng = rng if rng is not None else np.random.default_rng(0)
+        scale = 1.0 / math.sqrt(max_length)
+        return cls(
+            e=rng.normal(0, scale, size=(rank, max_length)).astype(np.float32),
+            f=rng.normal(0, scale, size=(rank, max_length)).astype(np.float32),
+        )
+
+
+@dataclass
+class LinformerState:
+    """Compressed keys/values: K' ∈ (H, r, F_H), V' ∈ (H, r, F_H)."""
+
+    k: np.ndarray
+    v: np.ndarray
+
+    def __add__(self, other: "LinformerState") -> "LinformerState":
+        return LinformerState(self.k + other.k, self.v + other.v)
+
+    @property
+    def nbytes(self) -> int:
+        return self.k.nbytes + self.v.nbytes
+
+
+def state_elements(num_heads: int, rank: int, head_dim: int) -> int:
+    """Elements moved per state All-Reduce: 2·H·r·F_H."""
+    return 2 * num_heads * rank * head_dim
+
+
+def linformer_local_state(
+    x: np.ndarray,
+    start: int,
+    stop: int,
+    params: AttentionParams,
+    projections: LinformerProjections,
+) -> LinformerState:
+    """Partial ``E[:, slice]·K[slice]`` and ``F[:, slice]·V[slice]``."""
+    n = x.shape[0]
+    if n > projections.max_length:
+        raise ValueError(
+            f"sequence length {n} exceeds projection capacity {projections.max_length}"
+        )
+    if not (0 <= start <= stop <= n):
+        raise ValueError(f"invalid slice [{start}, {stop}) for N={n}")
+    x_slice = x[start:stop]
+    k = split_heads(F.linear(x_slice, params.wk, params.bk), params.num_heads)
+    v = split_heads(F.linear(x_slice, params.wv, params.bv), params.num_heads)
+    e_slice = projections.e[:, start:stop]  # (r, P)
+    f_slice = projections.f[:, start:stop]
+    return LinformerState(k=e_slice @ k, v=f_slice @ v)  # (H, r, F_H) each
+
+
+def linformer_apply(
+    x: np.ndarray,
+    start: int,
+    stop: int,
+    params: AttentionParams,
+    state: LinformerState,
+) -> np.ndarray:
+    """Query rows [start, stop) against the compressed keys/values."""
+    xp = x[start:stop]
+    q = split_heads(F.linear(xp, params.wq, params.bq), params.num_heads)  # (H, P, F_H)
+    scores = q @ state.k.transpose(0, 2, 1) / math.sqrt(params.head_dim)  # (H, P, r)
+    weights = F.softmax(scores, axis=-1)
+    return merge_heads(weights @ state.v)  # (P, H·F_H)
+
+
+def linformer_full(
+    x: np.ndarray, params: AttentionParams, projections: LinformerProjections
+) -> np.ndarray:
+    """Reference single-device Linformer attention."""
+    state = linformer_local_state(x, 0, x.shape[0], params, projections)
+    return linformer_apply(x, 0, x.shape[0], params, state)
+
+
+def linformer_partition(
+    x: np.ndarray,
+    start: int,
+    stop: int,
+    params: AttentionParams,
+    projections: LinformerProjections,
+    slices: list[tuple[int, int]] | None = None,
+) -> np.ndarray:
+    """Distributed-protocol emulation: partial projections → sum → apply."""
+    if slices is None:
+        slices = [(0, x.shape[0])]
+    partials = [linformer_local_state(x, a, b, params, projections) for a, b in slices]
+    state = partials[0]
+    for partial in partials[1:]:
+        state = state + partial
+    return linformer_apply(x, start, stop, params, state)

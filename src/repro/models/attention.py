@@ -1,0 +1,75 @@
+"""Full (unpartitioned) multi-head self-attention — Eq. (1)–(2) of the paper."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.orders import AttentionParams, attention_full
+from repro.tensor.layers import Linear
+from repro.tensor.module import Module
+
+__all__ = ["MultiHeadSelfAttention"]
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard multi-head self-attention with output projection.
+
+    ``MultiHead(x) = Concat(A_1(x), ..., A_H(x)) · W_O`` where each head is
+    ``Attn(x W_Q^i, x W_K^i, x W_V^i)``.  The projection weights are stored
+    as single ``(F, H·F_H)`` matrices with heads contiguous along columns,
+    which is both the HuggingFace layout and what
+    :class:`repro.core.orders.AttentionParams` expects — so the partitioned
+    executors can reuse these exact parameters with no copying.
+    """
+
+    def __init__(
+        self,
+        hidden_size: int,
+        num_heads: int,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+        head_dim: int | None = None,
+    ):
+        """``head_dim`` defaults to ``hidden_size // num_heads`` (the standard
+        ``H·F_H = F`` setting); passing it explicitly supports head-pruned
+        models where ``H·F_H < F`` (the projection width shrinks while the
+        residual width stays F)."""
+        super().__init__()
+        if head_dim is None:
+            if hidden_size % num_heads != 0:
+                raise ValueError(
+                    f"hidden_size={hidden_size} not divisible by num_heads={num_heads}"
+                )
+            head_dim = hidden_size // num_heads
+        self.hidden_size = hidden_size
+        self.num_heads = num_heads
+        self.head_dim = head_dim
+        proj_width = num_heads * head_dim
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.query = Linear(hidden_size, proj_width, rng=rng, bias=bias)
+        self.key = Linear(hidden_size, proj_width, rng=rng, bias=bias)
+        self.value = Linear(hidden_size, proj_width, rng=rng, bias=bias)
+        self.output = Linear(proj_width, hidden_size, rng=rng, bias=bias)
+
+    def attention_params(self) -> AttentionParams:
+        """Zero-copy view of the Q/K/V projections for the order executors."""
+        return AttentionParams(
+            wq=self.query.weight.data,
+            wk=self.key.weight.data,
+            wv=self.value.weight.data,
+            num_heads=self.num_heads,
+            bq=self.query.bias.data if self.query.bias else None,
+            bk=self.key.bias.data if self.key.bias else None,
+            bv=self.value.bias.data if self.value.bias else None,
+        )
+
+    def forward(self, x: np.ndarray, causal: bool = False) -> np.ndarray:
+        """Full-sequence attention: ``(N, F) → (N, F)``."""
+        attended = attention_full(x, self.attention_params(), causal=causal)
+        return self.output(attended)
+
+    def __repr__(self) -> str:
+        return (
+            f"MultiHeadSelfAttention(F={self.hidden_size}, H={self.num_heads}, "
+            f"F_H={self.head_dim})"
+        )

@@ -1,0 +1,82 @@
+"""BERT-style encoder model with a sequence-classification head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TransformerModel
+from repro.models.config import TransformerConfig, bert_large_config
+from repro.models.embeddings import TextEmbeddings
+from repro.models.tokenizer import SimpleTokenizer
+from repro.tensor.layers import Linear
+from repro.tensor.module import Module
+
+__all__ = ["BertPooler", "BertModel"]
+
+
+class BertPooler(Module):
+    """BERT pooler: ``tanh(W · h_[CLS] + b)`` over the first token."""
+
+    def __init__(self, hidden_size: int, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.dense = Linear(hidden_size, hidden_size, rng=rng)
+
+    def forward(self, hidden: np.ndarray) -> np.ndarray:
+        return np.tanh(self.dense(hidden[0]))
+
+
+class BertModel(TransformerModel):
+    """BERT encoder + pooler + classifier (the paper's text-classification task).
+
+    ``forward`` maps token ids (or raw text via :meth:`encode_text`) to class
+    logits.  The default configuration is BERT-Large-Uncased (24 layers,
+    F=1024, H=16) as in the evaluation.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig | None = None,
+        num_classes: int = 2,
+        rng: np.random.Generator | None = None,
+    ):
+        config = config if config is not None else bert_large_config()
+        if config.is_causal:
+            raise ValueError("BertModel is a bidirectional encoder; config.is_causal must be False")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(config, rng=rng)
+        self.embeddings = TextEmbeddings(
+            vocab_size=config.vocab_size,
+            hidden_size=config.hidden_size,
+            max_positions=config.max_positions,
+            type_vocab_size=config.type_vocab_size,
+            use_layer_norm=True,
+            layer_norm_eps=config.layer_norm_eps,
+            rng=rng,
+        )
+        self.pooler = BertPooler(config.hidden_size, rng=rng)
+        self.classifier = Linear(config.hidden_size, num_classes, rng=rng)
+        self.num_classes = num_classes
+        self.tokenizer = SimpleTokenizer(config.vocab_size)
+
+    def preprocess(self, raw) -> np.ndarray:
+        """Token ids ``(N,)`` (or text) → embedded features ``(N, F)``."""
+        if isinstance(raw, str):
+            raw = self.tokenizer.encode(raw, max_length=self.config.max_positions)
+        return self.embeddings(np.asarray(raw))
+
+    def postprocess(self, hidden: np.ndarray) -> np.ndarray:
+        """Final hidden states → class logits ``(num_classes,)``."""
+        return self.classifier(self.pooler(hidden))
+
+    def encode_text(self, text: str) -> np.ndarray:
+        """Convenience: text → token ids under the model's tokenizer."""
+        return self.tokenizer.encode(text, max_length=self.config.max_positions)
+
+    def classify(self, text: str) -> int:
+        """Text → predicted class index (end-to-end single-device path)."""
+        return int(np.argmax(self.forward(self.encode_text(text))))
+
+    def postprocess_flops(self, n: int) -> int:
+        """Pooler (F×F on the CLS row) + classifier (F×classes)."""
+        f = self.config.hidden_size
+        return f * f + f * self.num_classes

@@ -1,0 +1,114 @@
+"""Input embedding layers: token/position/segment lookups and ViT patches.
+
+These implement the "pre-processing" stage of Fig. 3 — performed on the
+terminal device before input features are broadcast to the computing
+devices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import init
+from repro.tensor.layers import Embedding, LayerNorm, Linear
+from repro.tensor.module import Module, Parameter
+
+__all__ = ["TextEmbeddings", "PatchEmbeddings"]
+
+
+class TextEmbeddings(Module):
+    """BERT/GPT-2 style embeddings: token + learned position (+ segment).
+
+    ``use_layer_norm`` matches BERT (GPT-2 does not normalise embeddings).
+    """
+
+    def __init__(
+        self,
+        vocab_size: int,
+        hidden_size: int,
+        max_positions: int,
+        type_vocab_size: int = 0,
+        use_layer_norm: bool = True,
+        layer_norm_eps: float = 1e-12,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_positions = max_positions
+        self.word = Embedding(vocab_size, hidden_size, rng=rng)
+        self.position = Embedding(max_positions, hidden_size, rng=rng)
+        self.token_type = (
+            Embedding(type_vocab_size, hidden_size, rng=rng) if type_vocab_size else None
+        )
+        self.layer_norm = LayerNorm(hidden_size, eps=layer_norm_eps) if use_layer_norm else None
+
+    def forward(
+        self, token_ids: np.ndarray, token_type_ids: np.ndarray | None = None
+    ) -> np.ndarray:
+        token_ids = np.asarray(token_ids)
+        n = token_ids.shape[0]
+        if n > self.max_positions:
+            raise ValueError(f"sequence length {n} exceeds max_positions={self.max_positions}")
+        x = self.word(token_ids) + self.position(np.arange(n))
+        if self.token_type is not None:
+            if token_type_ids is None:
+                token_type_ids = np.zeros(n, dtype=np.int64)
+            x = x + self.token_type(np.asarray(token_type_ids))
+        if self.layer_norm is not None:
+            x = self.layer_norm(x)
+        return x
+
+
+class PatchEmbeddings(Module):
+    """ViT patch embedding: split the image into P×P patches, project, add CLS.
+
+    Implemented as reshape + matmul (equivalent to the stride-P convolution
+    in the reference implementation, with identical FLOPs).
+    """
+
+    def __init__(
+        self,
+        image_size: int,
+        patch_size: int,
+        num_channels: int,
+        hidden_size: int,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        if image_size % patch_size != 0:
+            raise ValueError(
+                f"image_size={image_size} not divisible by patch_size={patch_size}"
+            )
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.image_size = image_size
+        self.patch_size = patch_size
+        self.num_channels = num_channels
+        self.grid = image_size // patch_size
+        self.num_patches = self.grid * self.grid
+        patch_dim = num_channels * patch_size * patch_size
+        self.projection = Linear(patch_dim, hidden_size, rng=rng)
+        self.cls_token = Parameter(init.normal(rng, (1, hidden_size)))
+        self.position = Embedding(self.num_patches + 1, hidden_size, rng=rng)
+
+    @property
+    def sequence_length(self) -> int:
+        """Token count seen by the transformer: patches + CLS (197 for ViT-B/16)."""
+        return self.num_patches + 1
+
+    def patchify(self, image: np.ndarray) -> np.ndarray:
+        """``(C, H, W)`` image → ``(num_patches, C·P·P)`` rows (row-major grid)."""
+        c, h, w = image.shape
+        if (c, h, w) != (self.num_channels, self.image_size, self.image_size):
+            raise ValueError(
+                f"expected image (C={self.num_channels}, {self.image_size}, "
+                f"{self.image_size}), got {image.shape}"
+            )
+        p = self.patch_size
+        patches = image.reshape(c, self.grid, p, self.grid, p)
+        patches = patches.transpose(1, 3, 0, 2, 4)  # (gh, gw, c, p, p)
+        return patches.reshape(self.num_patches, c * p * p)
+
+    def forward(self, image: np.ndarray) -> np.ndarray:
+        tokens = self.projection(self.patchify(image))
+        x = np.concatenate([self.cls_token.data, tokens], axis=0)
+        return x + self.position(np.arange(self.sequence_length))

@@ -1,0 +1,119 @@
+"""GPT-2-style causal decoder with a tied language-model head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TransformerModel
+from repro.models.config import TransformerConfig, gpt2_config
+from repro.models.embeddings import TextEmbeddings
+from repro.models.tokenizer import SimpleTokenizer
+from repro.tensor.layers import LayerNorm
+
+__all__ = ["GPT2Model"]
+
+
+class GPT2Model(TransformerModel):
+    """GPT-2: pre-LN causal transformer, final layer norm, tied LM head.
+
+    The paper deploys GPT-2 for text classification with a 200-word input —
+    a single forward pass over the prompt, which is what the distributed
+    systems execute.  :meth:`generate` additionally provides greedy
+    autoregressive decoding as an example-level extension.
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        config = config if config is not None else gpt2_config()
+        if not config.is_causal or config.norm_style != "pre":
+            raise ValueError("GPT2Model requires a causal, pre-LN configuration")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(config, rng=rng)
+        self.embeddings = TextEmbeddings(
+            vocab_size=config.vocab_size,
+            hidden_size=config.hidden_size,
+            max_positions=config.max_positions,
+            type_vocab_size=0,
+            use_layer_norm=False,  # GPT-2 does not normalise embeddings
+            rng=rng,
+        )
+        self.ln_f = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.tokenizer = SimpleTokenizer(config.vocab_size, add_special_tokens=False)
+
+    def preprocess(self, raw) -> np.ndarray:
+        if isinstance(raw, str):
+            raw = self.tokenizer.encode(raw, max_length=self.config.max_positions)
+        return self.embeddings(np.asarray(raw))
+
+    def final_norm(self, x: np.ndarray) -> np.ndarray:
+        return self.ln_f(x)
+
+    def postprocess(self, hidden: np.ndarray) -> np.ndarray:
+        """Last-position hidden state → next-token logits ``(vocab,)``.
+
+        Tied to the input embedding (GPT-2's weight tying).  Classification
+        and greedy decoding both read only the final position, so the
+        terminal device computes one ``F × vocab`` product rather than N.
+        Use :meth:`lm_logits` for the full ``(N, vocab)`` matrix.
+        """
+        return hidden[-1] @ self.embeddings.word.weight.data.T
+
+    def lm_logits(self, hidden: np.ndarray) -> np.ndarray:
+        """Full-sequence language-model logits ``(N, vocab)``."""
+        return hidden @ self.embeddings.word.weight.data.T
+
+    def next_token(self, token_ids: np.ndarray) -> int:
+        """Greedy next-token prediction from the last position."""
+        logits = self.forward(np.asarray(token_ids))
+        return int(np.argmax(logits))
+
+    def postprocess_flops(self, n: int) -> int:
+        """Tied LM head on the last position: F × vocab."""
+        return self.config.hidden_size * self.config.vocab_size
+
+    def generate_cached(self, prompt_ids: np.ndarray, max_new_tokens: int = 8) -> np.ndarray:
+        """Greedy decoding with a KV cache: prefill once, then O(1) steps.
+
+        Emits exactly the same tokens as :meth:`generate` (asserted by the
+        tests) while projecting each position only once per layer.
+        """
+        from repro.models.cache import KVCache, layer_forward_cached
+
+        ids = list(np.asarray(prompt_ids))
+        cache = KVCache.empty(self.num_layers)
+
+        def step(new_ids: list[int], offset: int) -> int:
+            positions = np.arange(offset, offset + len(new_ids))
+            x = self.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+            x = x + self.embeddings.position(positions)
+            for layer, layer_cache in zip(self.layers, cache.layers):
+                x = layer_forward_cached(layer, x, layer_cache)
+            logits = self.ln_f(x[-1]) @ self.embeddings.word.weight.data.T
+            return int(np.argmax(logits))
+
+        next_id = step(ids, 0)  # prefill over the whole prompt
+        for _ in range(max_new_tokens):
+            if len(ids) >= self.config.max_positions:
+                break
+            ids.append(next_id)
+            if len(ids) >= self.config.max_positions:
+                break
+            next_id = step([ids[-1]], len(ids) - 1)
+        return np.asarray(ids, dtype=np.int64)
+
+    def generate(self, prompt_ids: np.ndarray, max_new_tokens: int = 8) -> np.ndarray:
+        """Greedy decoding (full re-forward per step; no KV cache).
+
+        Each step is exactly the single-forward workload the paper measures,
+        so distributed systems can serve generation by re-running Algorithm 2
+        per emitted token.
+        """
+        ids = list(np.asarray(prompt_ids))
+        for _ in range(max_new_tokens):
+            if len(ids) >= self.config.max_positions:
+                break
+            ids.append(self.next_token(np.asarray(ids, dtype=np.int64)))
+        return np.asarray(ids, dtype=np.int64)

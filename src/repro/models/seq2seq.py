@@ -1,0 +1,202 @@
+"""Encoder–decoder transformer (the original seq2seq architecture) with
+position-wise partitioned decoding.
+
+The paper's evaluation covers encoder-only (BERT/ViT) and decoder-only
+(GPT-2) stacks; the original transformer's third block type — the decoder
+layer with *cross-attention* — partitions by position just as well:
+
+- self-attention partitions exactly as in Algorithm 1 (causal);
+- cross-attention queries come from the decoder partition while K/V come
+  from the encoder memory, so the computation-order analysis of Section IV
+  applies with N re-interpreted as the *memory length* — including the case
+  ``P > N_mem`` that self-attention cannot produce (handled by
+  :func:`repro.core.complexity.select_cross_order`);
+- everything else is position-wise.
+
+:class:`PartitionedDecoderLayerExecutor` is the Algorithm-1 analogue for
+decoder layers; :class:`Seq2SeqTransformer` is a complete runnable model
+(random weights; shapes follow the original transformer base).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import complexity
+from repro.core.complexity import AttentionOrder
+from repro.core.orders import attention_partition, cross_attention_partition
+from repro.core.partition import Partition
+from repro.models.attention import MultiHeadSelfAttention
+from repro.models.config import TransformerConfig
+from repro.models.embeddings import TextEmbeddings
+from repro.models.layer import FeedForward, TransformerLayer
+from repro.models.tokenizer import SimpleTokenizer
+from repro.tensor.layers import LayerNorm, Linear
+from repro.tensor.module import Module, ModuleList
+
+__all__ = ["DecoderLayer", "PartitionedDecoderLayerExecutor", "Seq2SeqTransformer"]
+
+
+class DecoderLayer(Module):
+    """Original-transformer decoder block: self-attn, cross-attn, FFN (post-LN)."""
+
+    def __init__(self, config: TransformerConfig, rng: np.random.Generator | None = None):
+        super().__init__()
+        self.config = config
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.self_attention = MultiHeadSelfAttention(
+            config.hidden_size, config.num_heads, rng=rng, bias=config.attention_bias
+        )
+        self.cross_attention = MultiHeadSelfAttention(
+            config.hidden_size, config.num_heads, rng=rng, bias=config.attention_bias
+        )
+        self.ffn = FeedForward(config.hidden_size, config.ffn_dim, config.activation, rng=rng)
+        self.ln1 = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.ln2 = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.ln3 = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+
+    def forward(self, x: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        """Full-sequence decoder layer: ``(N_dec, F), (N_enc, F) → (N_dec, F)``."""
+        executor = PartitionedDecoderLayerExecutor(self)
+        return executor.forward_partition(x, memory, Partition(0, x.shape[0]))
+
+
+class PartitionedDecoderLayerExecutor:
+    """Algorithm 1 extended to decoder layers (self + cross attention)."""
+
+    def __init__(self, layer: DecoderLayer):
+        self.layer = layer
+        self.config = layer.config
+
+    def select_orders(self, n_dec: int, n_mem: int, p: int) -> tuple[AttentionOrder, AttentionOrder]:
+        """(self-attention order, cross-attention order) for this instance."""
+        f = self.config.hidden_size
+        fh = self.layer.self_attention.head_dim
+        self_order = complexity.select_order(n_dec, min(p, n_dec), f, fh)
+        cross_order = complexity.select_cross_order(n_mem, p, f, fh)
+        return self_order, cross_order
+
+    def forward_partition(
+        self,
+        x: np.ndarray,
+        memory: np.ndarray,
+        partition: Partition,
+        self_order: AttentionOrder | None = None,
+        cross_order: AttentionOrder | None = None,
+    ) -> np.ndarray:
+        """Decoder-layer output rows ``partition`` from full inputs."""
+        if partition.stop > x.shape[0]:
+            raise ValueError(f"partition {partition} out of range for N_dec={x.shape[0]}")
+        if partition.is_empty:
+            return np.zeros((0, self.config.hidden_size), dtype=x.dtype)
+        layer = self.layer
+        if self_order is None or cross_order is None:
+            auto_self, auto_cross = self.select_orders(
+                x.shape[0], memory.shape[0], partition.length
+            )
+            self_order = self_order if self_order is not None else auto_self
+            cross_order = cross_order if cross_order is not None else auto_cross
+
+        xp = x[partition.start : partition.stop]
+        attended = attention_partition(
+            x, partition.start, partition.stop,
+            layer.self_attention.attention_params(), self_order, causal=True,
+        )
+        y1 = layer.ln1(layer.self_attention.output(attended) + xp)
+
+        # cross-attention queries are exactly this partition's rows
+        crossed = cross_attention_partition(
+            y1, memory, 0, y1.shape[0],
+            layer.cross_attention.attention_params(), cross_order,
+        )
+        y2 = layer.ln2(layer.cross_attention.output(crossed) + y1)
+        return layer.ln3(y2 + layer.ffn(y2))
+
+    def partition_flops(self, n_dec: int, n_mem: int, p: int) -> int:
+        """Matmul FLOPs for one partitioned decoder layer."""
+        cfg = self.config
+        f, fh = cfg.hidden_size, self.layer.self_attention.head_dim
+        h = self.layer.self_attention.num_heads
+        self_order, cross_order = self.select_orders(n_dec, n_mem, p)
+        self_cost = h * complexity.attention_order_cost(
+            self_order, n_dec, min(p, n_dec), f, fh
+        ).matmul
+        cross_cost = h * complexity.cross_attention_order_cost(
+            cross_order, n_mem, p, f, fh
+        ).matmul
+        projections = 2 * p * (h * fh) * f  # both output projections
+        return self_cost + cross_cost + projections + complexity.ffn_flops(p, f, cfg.ffn_dim)
+
+
+class Seq2SeqTransformer(Module):
+    """A complete encoder–decoder model with greedy translation."""
+
+    def __init__(
+        self,
+        config: TransformerConfig | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        config = config if config is not None else TransformerConfig(
+            hidden_size=512, num_heads=8, num_layers=6, ffn_dim=2048,
+            vocab_size=32000, max_positions=512, activation="relu",
+            norm_style="post", type_vocab_size=0, name="transformer-base",
+        )
+        if config.norm_style != "post":
+            raise ValueError("this seq2seq implementation is post-LN (original transformer)")
+        super().__init__()
+        self.config = config
+        rng = rng if rng is not None else np.random.default_rng(0)
+        encoder_config = config.scaled(is_causal=False)
+        self.src_embeddings = TextEmbeddings(
+            config.vocab_size, config.hidden_size, config.max_positions,
+            type_vocab_size=0, use_layer_norm=True,
+            layer_norm_eps=config.layer_norm_eps, rng=rng,
+        )
+        self.tgt_embeddings = TextEmbeddings(
+            config.vocab_size, config.hidden_size, config.max_positions,
+            type_vocab_size=0, use_layer_norm=True,
+            layer_norm_eps=config.layer_norm_eps, rng=rng,
+        )
+        self.encoder = ModuleList(
+            [TransformerLayer(encoder_config, rng=rng) for _ in range(config.num_layers)]
+        )
+        self.decoder = ModuleList(
+            [DecoderLayer(config, rng=rng) for _ in range(config.num_layers)]
+        )
+        self.generator = Linear(config.hidden_size, config.vocab_size, rng=rng)
+        self.tokenizer = SimpleTokenizer(config.vocab_size, add_special_tokens=False)
+
+    def encode(self, src_ids: np.ndarray) -> np.ndarray:
+        """Source ids → encoder memory ``(N_enc, F)``."""
+        x = self.src_embeddings(np.asarray(src_ids))
+        for layer in self.encoder:
+            x = layer(x)
+        return x
+
+    def decode(self, tgt_ids: np.ndarray, memory: np.ndarray) -> np.ndarray:
+        """Target prefix ids + memory → decoder hidden states ``(N_dec, F)``."""
+        x = self.tgt_embeddings(np.asarray(tgt_ids))
+        for layer in self.decoder:
+            x = layer(x, memory)
+        return x
+
+    def forward(self, raw) -> np.ndarray:
+        """``(src_ids, tgt_ids)`` → next-token logits ``(vocab,)``."""
+        src_ids, tgt_ids = raw
+        memory = self.encode(src_ids)
+        hidden = self.decode(tgt_ids, memory)
+        return self.generator(hidden[-1])
+
+    def greedy_translate(
+        self, src_ids: np.ndarray, bos: int = 1, eos: int = 2, max_length: int = 16
+    ) -> np.ndarray:
+        """Greedy decoding from BOS until EOS or ``max_length`` tokens."""
+        memory = self.encode(src_ids)
+        ids = [bos]
+        for _ in range(max_length - 1):
+            hidden = self.decode(np.asarray(ids, dtype=np.int64), memory)
+            next_id = int(np.argmax(self.generator(hidden[-1])))
+            ids.append(next_id)
+            if next_id == eos:
+                break
+        return np.asarray(ids, dtype=np.int64)

@@ -1,0 +1,67 @@
+"""Vision Transformer (ViT) with an image-classification head."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import TransformerModel
+from repro.models.config import TransformerConfig, vit_base_config
+from repro.models.embeddings import PatchEmbeddings
+from repro.tensor.layers import LayerNorm, Linear
+
+__all__ = ["ViTModel"]
+
+
+class ViTModel(TransformerModel):
+    """ViT-B/16 style model: patch embedding → pre-LN encoder → CLS classifier.
+
+    The paper's ViT workload is one 224×224 image → 197 tokens.  Images are
+    ``(C, H, W)`` float arrays in any range (the patch projection is affine).
+    """
+
+    def __init__(
+        self,
+        config: TransformerConfig | None = None,
+        num_classes: int = 1000,
+        rng: np.random.Generator | None = None,
+    ):
+        config = config if config is not None else vit_base_config()
+        if config.is_causal:
+            raise ValueError("ViTModel is an encoder; config.is_causal must be False")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        super().__init__(config, rng=rng)
+        extras = config.extras
+        self.patches = PatchEmbeddings(
+            image_size=extras.get("image_size", 224),
+            patch_size=extras.get("patch_size", 16),
+            num_channels=extras.get("num_channels", 3),
+            hidden_size=config.hidden_size,
+            rng=rng,
+        )
+        self.ln_f = LayerNorm(config.hidden_size, eps=config.layer_norm_eps)
+        self.classifier = Linear(config.hidden_size, num_classes, rng=rng)
+        self.num_classes = num_classes
+
+    def preprocess(self, raw) -> np.ndarray:
+        """``(C, H, W)`` image → ``(197, F)`` patch tokens with CLS prepended."""
+        return self.patches(np.asarray(raw, dtype=np.float32))
+
+    def final_norm(self, x: np.ndarray) -> np.ndarray:
+        return self.ln_f(x)
+
+    def postprocess(self, hidden: np.ndarray) -> np.ndarray:
+        """CLS-token hidden state → class logits ``(num_classes,)``."""
+        return self.classifier(hidden[0])
+
+    def classify(self, image: np.ndarray) -> int:
+        return int(np.argmax(self.forward(image)))
+
+    def preprocess_flops(self, n: int) -> int:
+        """Patch projection: num_patches × (C·P²) × F."""
+        return self.patches.num_patches * self.patches.projection.in_features * (
+            self.config.hidden_size
+        )
+
+    def postprocess_flops(self, n: int) -> int:
+        """Classifier on the CLS row: F × classes."""
+        return self.config.hidden_size * self.num_classes

@@ -1,0 +1,29 @@
+"""Edge request serving: arrival processes, queueing simulators, statistics.
+
+Quantifies the paper's deployment argument (Section V-C): under sporadic,
+batch-size-1 arrivals, per-request latency is what matters, and only
+Voltage both cuts latency and keeps outputs exact; pipeline and data
+parallelism buy throughput that sporadic traffic cannot use.
+"""
+
+from repro.serving.arrivals import Request, bursty_arrivals, poisson_arrivals, uniform_arrivals
+from repro.serving.server import (
+    MonolithicServer,
+    PerDeviceServer,
+    PipelineServer,
+    service_models,
+)
+from repro.serving.stats import ServedRequest, ServingStats
+
+__all__ = [
+    "MonolithicServer",
+    "PerDeviceServer",
+    "PipelineServer",
+    "Request",
+    "ServedRequest",
+    "ServingStats",
+    "bursty_arrivals",
+    "poisson_arrivals",
+    "service_models",
+    "uniform_arrivals",
+]

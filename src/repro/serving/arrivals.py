@@ -1,0 +1,103 @@
+"""Request arrival processes for edge serving experiments.
+
+The paper's core motivation for rejecting pipeline/data parallelism is the
+*arrival pattern*: "inference requests typically arrive in a sporadic manner
+with small batch sizes, often only a single input."  These generators make
+that pattern (and its alternatives) concrete so the serving simulator can
+quantify the claim: Poisson (sporadic), uniform (steady), and bursty
+(on/off) processes, all deterministic under a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Request", "uniform_arrivals", "poisson_arrivals", "bursty_arrivals"]
+
+
+@dataclass(frozen=True, order=True)
+class Request:
+    """One inference request: when it arrives and how long its input is."""
+
+    arrival: float
+    n: int
+    id: int = 0
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError(f"arrival time must be >= 0, got {self.arrival}")
+        if self.n < 1:
+            raise ValueError(f"sequence length must be >= 1, got {self.n}")
+
+
+def _lengths(count: int, n_tokens: int | tuple[int, int], rng: np.random.Generator):
+    if isinstance(n_tokens, tuple):
+        low, high = n_tokens
+        if not (1 <= low <= high):
+            raise ValueError(f"invalid length range {n_tokens}")
+        return rng.integers(low, high + 1, size=count)
+    if n_tokens < 1:
+        raise ValueError(f"sequence length must be >= 1, got {n_tokens}")
+    return np.full(count, n_tokens)
+
+
+def uniform_arrivals(
+    count: int,
+    interval: float,
+    n_tokens: int | tuple[int, int] = 200,
+    seed: int = 0,
+) -> list[Request]:
+    """Steady stream: one request every ``interval`` seconds."""
+    if count < 1 or interval < 0:
+        raise ValueError(f"need count >= 1 and interval >= 0, got {count}, {interval}")
+    rng = np.random.default_rng(seed)
+    lengths = _lengths(count, n_tokens, rng)
+    return [
+        Request(arrival=i * interval, n=int(n), id=i) for i, n in enumerate(lengths)
+    ]
+
+
+def poisson_arrivals(
+    count: int,
+    rate: float,
+    n_tokens: int | tuple[int, int] = 200,
+    seed: int = 0,
+) -> list[Request]:
+    """Sporadic stream: exponential inter-arrival gaps at ``rate`` req/s."""
+    if count < 1 or rate <= 0:
+        raise ValueError(f"need count >= 1 and rate > 0, got {count}, {rate}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    times = np.cumsum(gaps)
+    lengths = _lengths(count, n_tokens, rng)
+    return [
+        Request(arrival=float(t), n=int(n), id=i)
+        for i, (t, n) in enumerate(zip(times, lengths))
+    ]
+
+
+def bursty_arrivals(
+    bursts: int,
+    burst_size: int,
+    burst_gap: float,
+    within_gap: float = 0.0,
+    n_tokens: int | tuple[int, int] = 200,
+    seed: int = 0,
+) -> list[Request]:
+    """On/off traffic: ``bursts`` clumps of ``burst_size`` back-to-back requests."""
+    if bursts < 1 or burst_size < 1 or burst_gap < 0 or within_gap < 0:
+        raise ValueError("invalid burst parameters")
+    rng = np.random.default_rng(seed)
+    lengths = _lengths(bursts * burst_size, n_tokens, rng)
+    requests = []
+    index = 0
+    for burst in range(bursts):
+        base = burst * burst_gap
+        for j in range(burst_size):
+            requests.append(
+                Request(arrival=base + j * within_gap, n=int(lengths[index]), id=index)
+            )
+            index += 1
+    return requests

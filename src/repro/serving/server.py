@@ -1,0 +1,165 @@
+"""Edge serving simulators: request streams through each deployment strategy.
+
+Three server shapes, matching how each parallelism occupies the cluster:
+
+- :class:`MonolithicServer` — Voltage / tensor-parallel / single-device: one
+  request holds *all* devices for its whole service time (the collectives
+  are barriers), so requests serialise FIFO.  Lowest per-request latency,
+  throughput capped at ``1/service_time``.
+- :class:`PerDeviceServer` — data parallelism: K independent full-replica
+  workers; requests dispatch to the earliest-free device.  K× throughput,
+  single-device latency.
+- :class:`PipelineServer` — layer stages: a request flows through K stage
+  resources, overlapping with its neighbours.  High throughput, latency no
+  better than single-device plus hops.
+
+Service-time models are injected as callables ``n -> seconds`` (built from
+:mod:`repro.bench.analytic` by :func:`service_models`), keeping the queueing
+logic independent of the latency calibration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.cluster.simulator import Resource
+from repro.serving.arrivals import Request
+from repro.serving.stats import ServedRequest, ServingStats
+
+__all__ = ["MonolithicServer", "PerDeviceServer", "PipelineServer", "service_models"]
+
+
+def _validate(requests: Sequence[Request]) -> list[Request]:
+    if not requests:
+        raise ValueError("need at least one request")
+    return sorted(requests)
+
+
+class MonolithicServer:
+    """All devices serve one request at a time (barrier-style systems)."""
+
+    def __init__(self, service_time: Callable[[int], float]):
+        self.service_time = service_time
+
+    def serve(self, requests: Sequence[Request]) -> list[ServedRequest]:
+        cluster = Resource("cluster")
+        served = []
+        for request in _validate(requests):
+            start, finish = cluster.reserve(request.arrival, self.service_time(request.n))
+            served.append(ServedRequest(request=request, start=start, finish=finish))
+        return served
+
+    def run(self, requests: Sequence[Request]) -> ServingStats:
+        return ServingStats.from_served(self.serve(requests))
+
+
+class PerDeviceServer:
+    """K independent replicas; each request goes to the earliest-free one."""
+
+    def __init__(self, service_time: Callable[[int], float], num_devices: int):
+        if num_devices < 1:
+            raise ValueError(f"need >= 1 device, got {num_devices}")
+        self.service_time = service_time
+        self.num_devices = num_devices
+
+    def serve(self, requests: Sequence[Request]) -> list[ServedRequest]:
+        devices = [Resource(f"replica-{i}") for i in range(self.num_devices)]
+        served = []
+        for request in _validate(requests):
+            # earliest-completion dispatch: pick the device free soonest
+            device = min(devices, key=lambda d: max(d.available_at, request.arrival))
+            start, finish = device.reserve(request.arrival, self.service_time(request.n))
+            served.append(ServedRequest(request=request, start=start, finish=finish))
+        return served
+
+    def run(self, requests: Sequence[Request]) -> ServingStats:
+        return ServingStats.from_served(self.serve(requests))
+
+
+class PipelineServer:
+    """Layer-stage pipeline: per-stage FIFO resources plus inter-stage hops."""
+
+    def __init__(
+        self,
+        stage_times: Callable[[int], Sequence[float]],
+        hop_time: Callable[[int], float],
+    ):
+        self.stage_times = stage_times
+        self.hop_time = hop_time
+
+    def serve(self, requests: Sequence[Request]) -> list[ServedRequest]:
+        requests = _validate(requests)
+        num_stages = len(self.stage_times(requests[0].n))
+        stages = [Resource(f"stage-{i}") for i in range(num_stages)]
+        links = [Resource(f"link-{i}") for i in range(num_stages + 1)]
+        served = []
+        for request in requests:
+            times = self.stage_times(request.n)
+            if len(times) != num_stages:
+                raise ValueError("stage count must not vary across requests")
+            hop = self.hop_time(request.n)
+            _, t = links[0].reserve(request.arrival, hop)
+            start = None
+            for stage, resource in enumerate(stages):
+                begin, t = resource.reserve(t, times[stage])
+                start = begin if start is None else start
+                _, t = links[stage + 1].reserve(t, hop)
+            served.append(ServedRequest(request=request, start=start, finish=t))
+        return served
+
+    def run(self, requests: Sequence[Request]) -> ServingStats:
+        return ServingStats.from_served(self.serve(requests))
+
+
+def service_models(config, cluster, pre_flops: int = 0, post_flops: int = 0) -> dict:
+    """Build the three servers' timing callables from the analytic models.
+
+    Returns ``{"voltage": MonolithicServer, "tensor-parallel":
+    MonolithicServer, "single-device": ..., "data-parallel": PerDeviceServer,
+    "pipeline": PipelineServer}`` all calibrated for (config, cluster).
+    """
+    from repro.bench import analytic
+    from repro.core.partition import split_evenly
+    from repro.systems.base import activation_bytes
+
+    def voltage_time(n: int) -> float:
+        return analytic.voltage_latency(
+            config, n, cluster, pre_flops=pre_flops, post_flops=post_flops
+        ).total_seconds
+
+    def tensor_time(n: int) -> float:
+        return analytic.tensor_parallel_latency(
+            config, n, cluster, pre_flops=pre_flops, post_flops=post_flops
+        ).total_seconds
+
+    def single_time(n: int) -> float:
+        return analytic.single_device_latency(
+            config, n, cluster.with_num_devices(1),
+            pre_flops=pre_flops, post_flops=post_flops,
+        ).total_seconds
+
+    from repro.core import complexity
+    from repro.core.complexity import EQ3
+
+    layer_flops = lambda n: complexity.layer_flops(  # noqa: E731
+        n, n, config.hidden_size, config.head_dim, config.num_heads,
+        config.ffn_dim, order=EQ3,
+    )
+
+    def stage_times(n: int) -> list[float]:
+        sizes = split_evenly(config.num_layers, cluster.num_devices)
+        return [
+            device.compute_seconds(size * layer_flops(n))
+            for device, size in zip(cluster.devices, sizes)
+        ]
+
+    def hop_time(n: int) -> float:
+        return cluster.network.transfer_seconds(activation_bytes(n, config.hidden_size))
+
+    return {
+        "voltage": MonolithicServer(voltage_time),
+        "tensor-parallel": MonolithicServer(tensor_time),
+        "single-device": MonolithicServer(single_time),
+        "data-parallel": PerDeviceServer(single_time, cluster.num_devices),
+        "pipeline": PipelineServer(stage_times, hop_time),
+    }

@@ -1,0 +1,91 @@
+"""The common interface of all inference systems.
+
+A *system* deploys a :class:`~repro.models.base.TransformerModel` on a
+:class:`~repro.cluster.spec.ClusterSpec` and serves single requests
+(batch size 1, the edge setting the paper targets).  ``run()`` returns both:
+
+- the **real output**, produced by executing the system's exact distributed
+  protocol (host-emulated, bit-faithful to what the devices would compute);
+- the **simulated latency** as a per-phase :class:`LatencyBreakdown`, using
+  the calibrated device/network cost models.
+
+The split lets the test-suite assert numerical equivalence across systems
+while the benchmarks sweep latency over device counts and bandwidths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.cluster.simulator import ClusterSim
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import LatencyBreakdown
+from repro.models.base import TransformerModel
+
+__all__ = ["InferenceResult", "InferenceSystem", "activation_bytes"]
+
+
+def activation_bytes(n: int, f: int, itemsize: int = 4) -> float:
+    """Size of an ``(N, F)`` float32 activation on the wire."""
+    return float(n) * f * itemsize
+
+
+@dataclass
+class InferenceResult:
+    """Output + latency + metadata for one served request."""
+
+    output: np.ndarray
+    latency: LatencyBreakdown
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.latency.total_seconds
+
+
+class InferenceSystem:
+    """Base class: holds the model, the cluster, and the cost helper."""
+
+    name = "abstract"
+
+    def __init__(self, model: TransformerModel, cluster: ClusterSpec):
+        self.model = model
+        self.cluster = cluster
+        self.sim = ClusterSim(cluster)
+
+    @property
+    def k(self) -> int:
+        return self.cluster.num_devices
+
+    def run(self, raw) -> InferenceResult:
+        """Serve one request end-to-end."""
+        raise NotImplementedError
+
+    def latency_seconds(self, raw) -> float:
+        """Convenience wrapper for sweeps that only need the scalar."""
+        return self.run(raw).total_seconds
+
+    # -- shared terminal-side stages -----------------------------------------
+
+    def _terminal_preprocess(self, raw, latency: LatencyBreakdown) -> np.ndarray:
+        x = self.model.preprocess(raw)
+        flops = self.model.preprocess_flops(x.shape[0])
+        latency.add("preprocess (terminal)", "compute", self.sim.terminal_compute(flops))
+        return x
+
+    def _terminal_postprocess(
+        self, hidden: np.ndarray, latency: LatencyBreakdown
+    ) -> np.ndarray:
+        hidden = self.model.final_norm(hidden)
+        output = self.model.postprocess(hidden)
+        flops = self.model.postprocess_flops(hidden.shape[0])
+        latency.add("postprocess (terminal)", "compute", self.sim.terminal_compute(flops))
+        return output
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(model={self.model.config.name!r}, "
+            f"devices={self.k}, bandwidth={self.cluster.network.bandwidth_mbps:g} Mbps)"
+        )

@@ -1,0 +1,157 @@
+"""Fault-tolerant Voltage: surviving device failures mid-inference.
+
+A consequence of Voltage's design the paper doesn't exploit: after every
+All-Gather each device holds the *complete* layer input, and every device
+holds the *complete* model weights (Section V-C).  So when a device dies,
+nothing is lost — the survivors simply re-partition the remaining layers
+among themselves and keep going, paying only a detection timeout.
+
+Contrast with tensor parallelism, where each device holds an irreplaceable
+weight shard: losing one device loses part of the model, and inference
+cannot continue without re-distributing weights from a checkpoint.
+
+Failures are injected as a schedule ``{device_index: layer_index}`` —
+device ``d`` dies immediately before computing layer ``l``.  The output is
+bit-identical to the failure-free run; only the latency changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.collectives import all_gather_arrays
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core.layer import OrderPolicy, PartitionedLayerExecutor
+from repro.core.partition import PartitionScheme
+from repro.models.base import TransformerModel
+from repro.systems.base import InferenceResult, InferenceSystem, activation_bytes
+
+__all__ = ["AllDevicesFailedError", "FailureSchedule", "FaultTolerantVoltageSystem"]
+
+
+class AllDevicesFailedError(RuntimeError):
+    """Every computing device died before the request finished."""
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """Which devices die, and before which layer."""
+
+    failures: dict = field(default_factory=dict)  # device index -> layer index
+
+    def __post_init__(self) -> None:
+        for device, layer in self.failures.items():
+            if device < 0 or layer < 0:
+                raise ValueError(f"invalid failure entry: device {device}, layer {layer}")
+
+    def dead_before(self, layer: int) -> set:
+        """Devices that failed at an earlier layer (strictly before ``layer``)."""
+        return {d for d, fail_layer in self.failures.items() if fail_layer < layer}
+
+    def dying_at(self, layer: int) -> set:
+        return {d for d, fail_layer in self.failures.items() if fail_layer == layer}
+
+
+def _survivor_scheme(alive: list[int], k: int) -> PartitionScheme:
+    """Even split over survivors, zero ratio for dead devices."""
+    ratios = [0.0] * k
+    share = 1.0 / len(alive)
+    for device in alive:
+        ratios[device] = share
+    return PartitionScheme(ratios)
+
+
+class FaultTolerantVoltageSystem(InferenceSystem):
+    """Voltage with failure detection and survivor re-partitioning."""
+
+    name = "voltage-fault-tolerant"
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        cluster: ClusterSpec,
+        failures: FailureSchedule | dict | None = None,
+        detection_timeout_seconds: float = 0.2,
+        policy: OrderPolicy | None = None,
+    ):
+        super().__init__(model, cluster)
+        if isinstance(failures, dict):
+            failures = FailureSchedule(failures)
+        self.failures = failures if failures is not None else FailureSchedule()
+        for device in self.failures.failures:
+            if device >= self.k:
+                raise ValueError(f"failure names device {device}, cluster has {self.k}")
+        if detection_timeout_seconds < 0:
+            raise ValueError("detection timeout must be >= 0")
+        self.detection_timeout_seconds = detection_timeout_seconds
+        self.policy = policy if policy is not None else OrderPolicy()
+        self.executors = [
+            PartitionedLayerExecutor(layer, policy=self.policy) for layer in model.layers
+        ]
+
+    def run(self, raw) -> InferenceResult:
+        latency = LatencyBreakdown()
+        x = self._terminal_preprocess(raw, latency)
+        n, f = x.shape
+
+        latency.add("broadcast input", "comm", self.sim.broadcast(activation_bytes(n, f)))
+
+        events = []
+        for index, executor in enumerate(self.executors):
+            dying = self.failures.dying_at(index)
+            dead = self.failures.dead_before(index) | dying
+            alive = [d for d in range(self.k) if d not in dead]
+            if dying:
+                # survivors notice the missing peer at the barrier: one
+                # detection timeout per failure event (not per device)
+                latency.add(
+                    f"detect failure of device(s) {sorted(dying)}",
+                    "overhead",
+                    self.detection_timeout_seconds,
+                    layer=index,
+                )
+                events.append({"layer": index, "devices": sorted(dying)})
+            if not alive:
+                raise AllDevicesFailedError(
+                    f"no devices left at layer {index} "
+                    f"(failures: {self.failures.failures})"
+                )
+
+            scheme = _survivor_scheme(alive, self.k)
+            parts = scheme.positions(n)
+            outputs = [executor.forward_partition(x, part) for part in parts]
+            seconds = [
+                (
+                    self.cluster.devices[d].compute_seconds(
+                        executor.partition_flops(n, parts[d].length)
+                    )
+                    if parts[d].length
+                    else 0.0
+                )
+                for d in range(self.k)
+            ]
+            latency.add("partition compute", "compute", max(seconds), layer=index)
+
+            chunk_bytes = [activation_bytes(part.length, f) for part in parts]
+            live_chunks = [chunk_bytes[d] for d in alive]
+            if index + 1 < len(self.executors):
+                latency.add("all-gather", "comm", self.sim.all_gather(live_chunks), layer=index)
+            else:
+                latency.add("gather to terminal", "comm", self.sim.gather(live_chunks), layer=index)
+            x = all_gather_arrays(outputs)
+
+        output = self._terminal_postprocess(x, latency)
+        survivors = [d for d in range(self.k)
+                     if d not in self.failures.dead_before(len(self.executors))]
+        return InferenceResult(
+            output=output,
+            latency=latency,
+            meta={
+                "system": self.name,
+                "n": n,
+                "devices": self.k,
+                "failure_events": events,
+                "survivors": survivors,
+            },
+        )

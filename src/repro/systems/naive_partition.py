@@ -1,0 +1,32 @@
+"""Naive position partitioning — Voltage without computation reordering.
+
+This is the "Naive" baseline of Fig. 6: the workload is still partitioned by
+position, but every device always computes the attention via Eq. (3), i.e.
+it materialises the full K and V matrices regardless of how small its
+partition is.  Theorem 1 shows the resulting per-device cost has the
+constant term ``2·N·F·F_H`` that caps its speed-up.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.layer import OrderPolicy
+from repro.core.partition import PartitionScheme
+from repro.models.base import TransformerModel
+from repro.systems.voltage import VoltageSystem
+
+__all__ = ["NaivePartitionSystem"]
+
+
+class NaivePartitionSystem(VoltageSystem):
+    """Position partitioning with the computation order fixed to Eq. (3)."""
+
+    name = "naive-partition"
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        cluster: ClusterSpec,
+        scheme: PartitionScheme | str | None = None,
+    ):
+        super().__init__(model, cluster, scheme=scheme, policy=OrderPolicy("naive"))

@@ -1,0 +1,42 @@
+"""Single-device deployment — the paper's primary baseline.
+
+The terminal pre-processes the request, ships the input features to one
+computing device, which runs the whole transformer stack and returns the
+final hidden states for post-processing (the dashed orange line of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core.layer import PartitionedLayerExecutor
+from repro.systems.base import InferenceResult, InferenceSystem, activation_bytes
+
+__all__ = ["SingleDeviceSystem"]
+
+
+class SingleDeviceSystem(InferenceSystem):
+    """Runs every layer on the first device of the cluster."""
+
+    name = "single-device"
+
+    def run(self, raw) -> InferenceResult:
+        latency = LatencyBreakdown()
+        x = self._terminal_preprocess(raw, latency)
+        n, f = x.shape
+        wire = activation_bytes(n, f)
+
+        latency.add("ship input to device", "comm", self.sim.point_to_point(wire))
+
+        device = self.cluster.devices[0]
+        for index, layer in enumerate(self.model.layers):
+            flops = PartitionedLayerExecutor(layer).full_flops(n)
+            latency.add("layer compute", "compute", device.compute_seconds(flops), layer=index)
+            x = layer(x)
+
+        latency.add("return hidden to terminal", "comm", self.sim.point_to_point(wire))
+        output = self._terminal_postprocess(x, latency)
+        return InferenceResult(
+            output=output,
+            latency=latency,
+            meta={"system": self.name, "n": n, "devices": 1},
+        )

@@ -1,0 +1,241 @@
+"""Tensor parallelism (Megatron-LM style) — the paper's main competitor.
+
+Each device holds a *shard* of every layer's weights: a subset of attention
+heads (column-sharded Q/K/V, row-sharded output projection) and a slice of
+the FFN (column-sharded fc1, row-sharded fc2).  Producing the full layer
+output requires summing the per-device partials — one All-Reduce after the
+attention block and one after the FFN (Fig. 2), which is exactly the
+``4(K-1)NF/K`` per-layer traffic of Section V-C.
+
+Head counts need not divide evenly: heads and FFN columns are split with
+``array_split`` semantics, and devices left without heads contribute zero
+partials (this is what lets the K=5 point of Fig. 4 exist for H=16 models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.runtime import CommStats, ThreadedRuntime
+from repro.cluster.spec import ClusterSpec
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core import complexity
+from repro.core.orders import AttentionParams, attention_full
+from repro.core.partition import split_evenly
+from repro.models.base import TransformerModel
+from repro.models.layer import TransformerLayer
+from repro.systems.base import InferenceResult, InferenceSystem, activation_bytes
+
+__all__ = ["TensorParallelSystem"]
+
+
+@dataclass
+class _LayerShard:
+    """One device's slice of one transformer layer."""
+
+    num_heads: int          # local head count (may be zero)
+    wq: np.ndarray          # (F, local_heads·F_H)
+    wk: np.ndarray
+    wv: np.ndarray
+    bq: np.ndarray | None
+    bk: np.ndarray | None
+    bv: np.ndarray | None
+    wo: np.ndarray          # (local_heads·F_H, F) — row shard
+    bo: np.ndarray | None   # applied on exactly one device (partials are summed)
+    fc1_w: np.ndarray       # (F, local_ffn) — column shard
+    fc1_b: np.ndarray | None
+    fc2_w: np.ndarray       # (local_ffn, F) — row shard
+    fc2_b: np.ndarray | None  # applied on exactly one device
+
+    @property
+    def local_ffn(self) -> int:
+        return self.fc1_w.shape[1]
+
+
+def _column_splits(total: int, k: int) -> list[slice]:
+    """array_split boundaries as slices (first ``total % k`` parts get +1)."""
+    slices, start = [], 0
+    for width in split_evenly(total, k):
+        slices.append(slice(start, start + width))
+        start += width
+    return slices
+
+
+def shard_layer(layer: TransformerLayer, k: int) -> list[_LayerShard]:
+    """Split one layer's weights across ``k`` devices, Megatron-style.
+
+    Head geometry comes from the attention module itself (not the config)
+    so head-pruned layers shard correctly.
+    """
+    cfg = layer.config
+    attn = layer.attention
+    fh = attn.head_dim
+    head_slices = _column_splits(attn.num_heads, k)
+    ffn_slices = _column_splits(cfg.ffn_dim, k)
+
+    def col(weight: np.ndarray, head_slice: slice) -> np.ndarray:
+        return weight[:, head_slice.start * fh : head_slice.stop * fh]
+
+    def colb(bias, head_slice: slice):
+        return bias.data[head_slice.start * fh : head_slice.stop * fh] if bias else None
+
+    shards = []
+    for rank in range(k):
+        hs, fs = head_slices[rank], ffn_slices[rank]
+        shards.append(
+            _LayerShard(
+                num_heads=hs.stop - hs.start,
+                wq=col(attn.query.weight.data, hs),
+                wk=col(attn.key.weight.data, hs),
+                wv=col(attn.value.weight.data, hs),
+                bq=colb(attn.query.bias, hs),
+                bk=colb(attn.key.bias, hs),
+                bv=colb(attn.value.bias, hs),
+                wo=attn.output.weight.data[hs.start * fh : hs.stop * fh, :],
+                bo=attn.output.bias.data if (rank == 0 and attn.output.bias) else None,
+                fc1_w=layer.ffn.fc1.weight.data[:, fs],
+                fc1_b=layer.ffn.fc1.bias.data[fs] if layer.ffn.fc1.bias else None,
+                fc2_w=layer.ffn.fc2.weight.data[fs, :],
+                fc2_b=layer.ffn.fc2.bias.data if (rank == 0 and layer.ffn.fc2.bias) else None,
+            )
+        )
+    return shards
+
+
+def _attention_partial(
+    shard: _LayerShard, x: np.ndarray, causal: bool
+) -> np.ndarray:
+    """This device's contribution to MultiHead(x)·W_O — zero if no heads."""
+    n, f = x.shape
+    if shard.num_heads == 0:
+        return np.zeros((n, f), dtype=x.dtype)
+    params = AttentionParams(
+        wq=shard.wq, wk=shard.wk, wv=shard.wv,
+        num_heads=shard.num_heads, bq=shard.bq, bk=shard.bk, bv=shard.bv,
+    )
+    attended = attention_full(x, params, causal=causal)  # (N, local_heads·F_H)
+    partial = attended @ shard.wo
+    if shard.bo is not None:
+        partial = partial + shard.bo
+    return partial
+
+
+def _ffn_partial(shard: _LayerShard, y: np.ndarray, act) -> np.ndarray:
+    """This device's FFN partial: act(y·fc1_shard)·fc2_shard."""
+    hidden = y @ shard.fc1_w
+    if shard.fc1_b is not None:
+        hidden = hidden + shard.fc1_b
+    partial = act(hidden) @ shard.fc2_w
+    if shard.fc2_b is not None:
+        partial = partial + shard.fc2_b
+    return partial
+
+
+class TensorParallelSystem(InferenceSystem):
+    """Inference with per-layer weight sharding and two All-Reduces."""
+
+    name = "tensor-parallel"
+
+    def __init__(self, model: TransformerModel, cluster: ClusterSpec):
+        super().__init__(model, cluster)
+        self.shards: list[list[_LayerShard]] = [
+            shard_layer(layer, self.k) for layer in model.layers
+        ]
+
+    # -- cost accounting -------------------------------------------------------
+
+    def _device_layer_flops(self, shard: _LayerShard, n: int) -> int:
+        cfg = self.model.config
+        attention = self.model.layers[0].attention
+        f, fh = cfg.hidden_size, attention.head_dim
+        per_head = complexity.gamma_eq3(n, n, f, fh).matmul  # full-N attention head
+        attn = shard.num_heads * per_head + n * (shard.num_heads * fh) * f
+        ffn = 2 * n * f * shard.local_ffn
+        return attn + ffn
+
+    # -- host-emulated execution with simulated latency -------------------------
+
+    def run(self, raw) -> InferenceResult:
+        latency = LatencyBreakdown()
+        x = self._terminal_preprocess(raw, latency)
+        n, f = x.shape
+        wire = activation_bytes(n, f)
+        causal = self.model.config.is_causal
+        act = self.model.layers[0].ffn._act
+        norm_style = self.model.config.norm_style
+
+        latency.add("broadcast input", "comm", self.sim.broadcast(wire))
+
+        allreduce_bytes_per_device = 0.0
+        for index, layer in enumerate(self.model.layers):
+            shards = self.shards[index]
+            flops = [self._device_layer_flops(shard, n) for shard in shards]
+            latency.add(
+                "shard compute", "compute", self.sim.compute_makespan(flops), layer=index
+            )
+            # two All-Reduces per layer (Fig. 2)
+            comm = 2 * self.sim.all_reduce(wire)
+            latency.add("2x all-reduce", "comm", comm, layer=index)
+            allreduce_bytes_per_device += 2 * (2 * (self.k - 1) * wire / self.k)
+
+            attn_input = x if norm_style == "post" else layer.ln1(x)
+            attn_sum = sum(_attention_partial(shard, attn_input, causal) for shard in shards)
+            if norm_style == "post":
+                y = layer.ln1(attn_sum + x)
+                ffn_sum = sum(_ffn_partial(shard, y, act) for shard in shards)
+                x = layer.ln2(y + ffn_sum)
+            else:
+                y = x + attn_sum
+                ffn_input = layer.ln2(y)
+                ffn_sum = sum(_ffn_partial(shard, ffn_input, act) for shard in shards)
+                x = y + ffn_sum
+
+        latency.add("return hidden to terminal", "comm", self.sim.point_to_point(wire))
+        output = self._terminal_postprocess(x, latency)
+        return InferenceResult(
+            output=output,
+            latency=latency,
+            meta={
+                "system": self.name,
+                "n": n,
+                "devices": self.k,
+                "allreduce_bytes_per_device": allreduce_bytes_per_device,
+            },
+        )
+
+    # -- real threaded execution -------------------------------------------------
+
+    def execute_threaded(self, raw) -> tuple[np.ndarray, list[CommStats]]:
+        """Run the shard/All-Reduce protocol on real concurrent workers."""
+        x0 = self.model.preprocess(raw)
+        causal = self.model.config.is_causal
+        act = self.model.layers[0].ffn._act
+        norm_style = self.model.config.norm_style
+        layers = list(self.model.layers)
+        all_shards = self.shards
+
+        def worker(ctx) -> np.ndarray:
+            x = x0
+            for layer, shards in zip(layers, all_shards):
+                shard = shards[ctx.rank]
+                attn_input = x if norm_style == "post" else layer.ln1(x)
+                attn_sum = ctx.all_reduce(_attention_partial(shard, attn_input, causal))
+                if norm_style == "post":
+                    y = layer.ln1(attn_sum + x)
+                    ffn_sum = ctx.all_reduce(_ffn_partial(shard, y, act))
+                    x = layer.ln2(y + ffn_sum)
+                else:
+                    y = x + attn_sum
+                    ffn_sum = ctx.all_reduce(_ffn_partial(shard, layer.ln2(y), act))
+                    x = y + ffn_sum
+            return x
+
+        runtime = ThreadedRuntime(self.k)
+        results, stats = runtime.run(worker)
+        hidden = results[0]
+        for other in results[1:]:
+            np.testing.assert_array_equal(hidden, other)
+        output = self.model.postprocess(self.model.final_norm(hidden))
+        return output, stats

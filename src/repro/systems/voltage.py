@@ -1,0 +1,209 @@
+"""Voltage — Algorithm 2: position-partitioned distributed inference.
+
+Per request (Fig. 3):
+
+1. the terminal pre-processes and broadcasts the input features ``x``;
+2. for every transformer layer, each device computes its position partition
+   via Algorithm 1 (adaptive computation order), then all devices
+   synchronise through a single All-Gather;
+3. the final layer's partitions are sent to the terminal, which
+   post-processes and answers the user.
+
+``run`` host-emulates the protocol exactly (the partition outputs really are
+computed with the partitioned executors and reassembled), while the latency
+is simulated with the calibrated device/network models.  The
+``execute_threaded`` method additionally runs the same protocol on real
+concurrent workers with byte accounting — used by the integration tests to
+reconcile the analytic communication volumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.collectives import all_gather_arrays
+from repro.cluster.runtime import CommStats, ThreadedRuntime
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core.layer import OrderPolicy, PartitionedLayerExecutor
+from repro.core.partition import PartitionScheme
+from repro.core.planner import makespan_optimal_scheme
+from repro.core.schedule import LayerSchedule
+from repro.models.base import TransformerModel
+from repro.cluster.spec import ClusterSpec
+from repro.systems.base import InferenceResult, InferenceSystem, activation_bytes
+
+__all__ = ["VoltageSystem"]
+
+
+#: Supported activation wire encodings: name -> (bytes per element).
+WIRE_DTYPES = {"float32": 4, "float16": 2, "int8": 1}
+
+
+class VoltageSystem(InferenceSystem):
+    """The paper's system: position-wise partitioning with adaptive orders."""
+
+    name = "voltage"
+
+    def __init__(
+        self,
+        model: TransformerModel,
+        cluster: ClusterSpec,
+        scheme: PartitionScheme | str | None = None,
+        policy: OrderPolicy | None = None,
+        wire_dtype: str = "float32",
+    ):
+        """Deploy ``model`` on ``cluster``.
+
+        ``scheme`` may be a :class:`PartitionScheme`, the string ``"auto"``
+        (makespan-optimal ratios for heterogeneous clusters, planned per
+        request length), or None for the paper's even 1/K split.
+
+        ``wire_dtype`` implements the paper's closing future-work item
+        ("further optimizations to communication protocols"): activations
+        cross the network as float32 (default, the paper's setting),
+        float16 (half the All-Gather volume) or symmetric int8 (a quarter).
+        Compression is *really applied* — partitions are encoded, decoded,
+        and the (small) numerical error propagates into the outputs — so
+        the accuracy cost of the bandwidth saving is measurable, not
+        assumed.
+        """
+        super().__init__(model, cluster)
+        if isinstance(scheme, (PartitionScheme, LayerSchedule)) and (
+            scheme.num_devices != cluster.num_devices
+        ):
+            raise ValueError(
+                f"scheme covers {scheme.num_devices} devices, cluster has {cluster.num_devices}"
+            )
+        if wire_dtype not in WIRE_DTYPES:
+            raise ValueError(
+                f"wire_dtype must be one of {sorted(WIRE_DTYPES)}, got {wire_dtype!r}"
+            )
+        self._scheme = scheme
+        self.policy = policy if policy is not None else OrderPolicy()
+        self.wire_dtype = wire_dtype
+        self.wire_itemsize = WIRE_DTYPES[wire_dtype]
+        self.executors = [
+            PartitionedLayerExecutor(layer, policy=self.policy) for layer in model.layers
+        ]
+
+    def _encode_for_wire(self, partition_output: np.ndarray) -> np.ndarray:
+        """Apply the configured lossy wire encoding to one partition."""
+        if self.wire_dtype == "float32" or partition_output.size == 0:
+            return partition_output
+        if self.wire_dtype == "float16":
+            return partition_output.astype(np.float16).astype(partition_output.dtype)
+        from repro.compress.quantize import dequantize_tensor, quantize_tensor
+
+        quantized = quantize_tensor(partition_output, per_channel=True)
+        return dequantize_tensor(quantized, dtype=str(partition_output.dtype))
+
+    def scheme_for(self, n: int, layer: int = 0) -> PartitionScheme:
+        """Resolve the partition scheme for a length-``n`` request.
+
+        With a :class:`LayerSchedule`, different layers may use different
+        schemes (Section V-B's penalty-free per-layer flexibility).
+        """
+        if isinstance(self._scheme, LayerSchedule):
+            return self._scheme.scheme_for_layer(layer)
+        if isinstance(self._scheme, PartitionScheme):
+            return self._scheme
+        if self._scheme == "auto":
+            return makespan_optimal_scheme(
+                self.model.config, n, self.cluster.device_gflops, policy=self.policy
+            )
+        if self._scheme is None:
+            return PartitionScheme.even(self.k)
+        raise ValueError(f"unsupported scheme specifier {self._scheme!r}")
+
+    # -- host-emulated execution with simulated latency ------------------------
+
+    def run(self, raw) -> InferenceResult:
+        latency = LatencyBreakdown()
+        x = self._terminal_preprocess(raw, latency)
+        n, f = x.shape
+        scheme = self.scheme_for(n)
+
+        latency.add("broadcast input", "comm", self.sim.broadcast(activation_bytes(n, f)))
+
+        comm_bytes_per_device = 0.0
+        orders_used: list[str] = []
+        for index, executor in enumerate(self.executors):
+            parts = self.scheme_for(n, layer=index).positions(n)
+            outputs = [
+                self._encode_for_wire(executor.forward_partition(x, part))
+                for part in parts
+            ]
+            flops = [
+                executor.partition_flops(n, part.length) if part.length else 0
+                for part in parts
+            ]
+            latency.add(
+                "partition compute", "compute", self.sim.compute_makespan(flops), layer=index
+            )
+            chunk_bytes = [
+                activation_bytes(part.length, f, itemsize=self.wire_itemsize)
+                for part in parts
+            ]
+            if index + 1 < len(self.executors):
+                # Algorithm 2 line 10: synchronise partitions across devices
+                comm = self.sim.all_gather(chunk_bytes)
+                latency.add("all-gather", "comm", comm, layer=index)
+                comm_bytes_per_device += sum(chunk_bytes) - max(chunk_bytes)
+            else:
+                # Algorithm 2 line 8: final partitions go to the terminal only
+                comm = self.sim.gather(chunk_bytes)
+                latency.add("gather to terminal", "comm", comm, layer=index)
+            x = all_gather_arrays(outputs)
+            first = next((p for p in parts if p.length), parts[0])
+            orders_used.append(
+                "eq8" if executor.select_order(n, max(first.length, 1)).is_reordered else "eq3"
+            )
+
+        output = self._terminal_postprocess(x, latency)
+        return InferenceResult(
+            output=output,
+            latency=latency,
+            meta={
+                "system": self.name,
+                "n": n,
+                "devices": self.k,
+                "scheme": scheme.ratios,
+                "orders": orders_used,
+                "wire_dtype": self.wire_dtype,
+                "allgather_bytes_per_device": comm_bytes_per_device,
+            },
+        )
+
+    # -- real threaded execution ------------------------------------------------
+
+    def execute_threaded(self, raw) -> tuple[np.ndarray, list[CommStats]]:
+        """Run Algorithm 2 on real concurrent workers.
+
+        Every worker holds the full model replica (Voltage's deployment
+        assumption), computes its partition per layer, and All-Gathers with
+        the others.  Returns the post-processed output and per-worker
+        communication statistics — the integration tests check the output
+        matches :meth:`run` and the byte counters match Section V-C.
+        """
+        x0 = self.model.preprocess(raw)
+        n = x0.shape[0]
+        executors = self.executors
+        layer_parts = [
+            self.scheme_for(n, layer=index).positions(n)
+            for index in range(len(executors))
+        ]
+
+        def worker(ctx) -> np.ndarray:
+            x = x0  # broadcast of the input features (replicated host memory)
+            for executor, parts in zip(executors, layer_parts):
+                out = executor.forward_partition(x, parts[ctx.rank])
+                x = ctx.all_gather(out, axis=0)
+            return x
+
+        runtime = ThreadedRuntime(self.k)
+        results, stats = runtime.run(worker)
+        hidden = results[0]
+        for other in results[1:]:
+            np.testing.assert_array_equal(hidden, other)
+        output = self.model.postprocess(self.model.final_norm(hidden))
+        return output, stats

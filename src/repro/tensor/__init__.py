@@ -1,0 +1,44 @@
+"""A minimal NumPy-backed neural-network inference substrate.
+
+This package replaces PyTorch in the original paper's implementation.  It
+provides just enough structure to express transformer models faithfully:
+
+- :class:`~repro.tensor.module.Module` / :class:`~repro.tensor.module.Parameter`
+  — a composable module system with named parameter traversal and
+  state-dict-style (de)serialisation;
+- :mod:`repro.tensor.functional` — numerically stable functional ops
+  (softmax, layer normalisation, GELU/ReLU, linear, embedding lookup);
+- :mod:`repro.tensor.init` — seeded weight initialisers;
+- :mod:`repro.tensor.layers` — `Linear`, `LayerNorm`, `Embedding` modules.
+
+Everything operates on ``numpy.ndarray`` in ``float32`` by default, which is
+what edge CPU inference uses in practice and what the paper's latency model
+assumes (4 bytes/element for communication volume).
+"""
+
+from repro.tensor import functional, init
+from repro.tensor.serialization import (
+    CheckpointError,
+    checkpoint_manifest,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.tensor.layers import Embedding, LayerNorm, Linear
+from repro.tensor.module import Module, Parameter
+
+DEFAULT_DTYPE = "float32"
+
+__all__ = [
+    "CheckpointError",
+    "DEFAULT_DTYPE",
+    "checkpoint_manifest",
+    "load_checkpoint",
+    "save_checkpoint",
+    "Embedding",
+    "LayerNorm",
+    "Linear",
+    "Module",
+    "Parameter",
+    "functional",
+    "init",
+]

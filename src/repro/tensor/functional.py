@@ -1,0 +1,150 @@
+"""Numerically stable functional building blocks for transformer inference.
+
+All functions are pure: they take and return ``numpy.ndarray`` objects and
+never mutate their inputs.  Shapes follow the paper's notation where the last
+axis is the feature axis ``F`` and the second-to-last axis is the sequence
+(position) axis ``N``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "layer_norm",
+    "relu",
+    "gelu",
+    "linear",
+    "embedding",
+    "scaled_dot_product_attention",
+    "causal_mask",
+    "cross_entropy",
+]
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable softmax along ``axis``.
+
+    Subtracts the running maximum before exponentiation so that large
+    attention logits (e.g. unscaled ``QK^T`` values) do not overflow in
+    float32.
+    """
+    x_max = np.max(x, axis=axis, keepdims=True)
+    shifted = x - x_max
+    exp = np.exp(shifted)
+    return exp / np.sum(exp, axis=axis, keepdims=True)
+
+
+def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Stable log-softmax along ``axis``."""
+    x_max = np.max(x, axis=axis, keepdims=True)
+    shifted = x - x_max
+    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+
+
+def layer_norm(
+    x: np.ndarray,
+    weight: np.ndarray | None = None,
+    bias: np.ndarray | None = None,
+    eps: float = 1e-5,
+) -> np.ndarray:
+    """Layer normalisation over the last axis (Ba et al., 2016).
+
+    Matches the transformer usage in the paper: applied position-wise, i.e.
+    each row of the ``(N, F)`` activation is normalised independently, which
+    is what makes the operation partitionable by position.
+    """
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.var(x, axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    if weight is not None:
+        normed = normed * weight
+    if bias is not None:
+        normed = normed + bias
+    return normed
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit, the FFN activation of the original transformer."""
+    return np.maximum(x, 0.0)
+
+
+def gelu(x: np.ndarray) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2)."""
+    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)))
+
+
+ACTIVATIONS = {"relu": relu, "gelu": gelu}
+
+
+def linear(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None = None) -> np.ndarray:
+    """Affine map ``x @ weight + bias``.
+
+    ``weight`` is stored ``(in_features, out_features)`` — the same
+    orientation as the paper's ``W_Q, W_K, W_V in R^{F x F_H}`` — so no
+    transpose is needed and FLOP counting matches the paper's Γ(·) directly.
+    """
+    out = x @ weight
+    if bias is not None:
+        out = out + bias
+    return out
+
+
+def embedding(ids: np.ndarray, table: np.ndarray) -> np.ndarray:
+    """Row lookup: maps integer ids of shape ``(...,)`` to ``(..., F)``."""
+    ids = np.asarray(ids)
+    if np.any(ids < 0) or np.any(ids >= table.shape[0]):
+        raise IndexError(
+            f"embedding ids out of range [0, {table.shape[0]}): "
+            f"min={ids.min()}, max={ids.max()}"
+        )
+    return table[ids]
+
+
+def causal_mask(n_query: int, n_key: int, offset: int = 0) -> np.ndarray:
+    """Boolean mask of shape ``(n_query, n_key)``; True = *blocked* entry.
+
+    ``offset`` is the absolute position of query row 0, which is how a
+    position-partitioned decoder layer builds the correct mask for its slice:
+    query row ``i`` (absolute position ``offset + i``) may attend to key
+    positions ``<= offset + i``.
+    """
+    q_pos = np.arange(n_query)[:, None] + offset
+    k_pos = np.arange(n_key)[None, :]
+    return k_pos > q_pos
+
+
+def scaled_dot_product_attention(
+    q: np.ndarray,
+    k: np.ndarray,
+    v: np.ndarray,
+    mask: np.ndarray | None = None,
+) -> np.ndarray:
+    """Reference attention ``softmax(QK^T / sqrt(d)) V``.
+
+    Accepts ``(..., N, d)`` tensors with any leading batch/head axes.  Used
+    as the ground-truth oracle in tests; the partitioned computation orders
+    in :mod:`repro.core.orders` must match it exactly.
+    """
+    d = q.shape[-1]
+    scores = q @ np.swapaxes(k, -1, -2) / math.sqrt(d)
+    if mask is not None:
+        scores = np.where(mask, -1e30, scores)
+    return softmax(scores, axis=-1) @ v
+
+
+def cross_entropy(logits: np.ndarray, labels: np.ndarray) -> float:
+    """Mean negative log-likelihood of ``labels`` under ``logits``.
+
+    Only used by example applications to show end-to-end task wiring; the
+    paper's evaluation is latency-only.
+    """
+    logp = log_softmax(logits, axis=-1)
+    rows = np.arange(logits.shape[0])
+    return float(-np.mean(logp[rows, labels]))

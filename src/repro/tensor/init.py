@@ -1,0 +1,62 @@
+"""Seeded weight initialisers.
+
+The paper evaluates inference latency, which is independent of weight
+*values* — only shapes matter.  We still initialise with standard schemes so
+that activations stay in a realistic numeric range (softmax saturation would
+otherwise make the attention outputs degenerate and hide numerical bugs in
+the reordered computation paths).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = ["normal", "uniform", "xavier_uniform", "kaiming_uniform", "zeros", "ones"]
+
+
+def zeros(shape: tuple[int, ...], dtype: str = "float32") -> np.ndarray:
+    return np.zeros(shape, dtype=dtype)
+
+
+def ones(shape: tuple[int, ...], dtype: str = "float32") -> np.ndarray:
+    return np.ones(shape, dtype=dtype)
+
+
+def normal(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    std: float = 0.02,
+    dtype: str = "float32",
+) -> np.ndarray:
+    """BERT/GPT-2 style truncated-ish normal init (std 0.02)."""
+    return rng.normal(0.0, std, size=shape).astype(dtype)
+
+
+def uniform(
+    rng: np.random.Generator,
+    shape: tuple[int, ...],
+    low: float,
+    high: float,
+    dtype: str = "float32",
+) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(dtype)
+
+
+def xavier_uniform(
+    rng: np.random.Generator, shape: tuple[int, int], dtype: str = "float32"
+) -> np.ndarray:
+    """Glorot uniform for ``(fan_in, fan_out)`` matrices."""
+    fan_in, fan_out = shape
+    bound = math.sqrt(6.0 / (fan_in + fan_out))
+    return uniform(rng, shape, -bound, bound, dtype=dtype)
+
+
+def kaiming_uniform(
+    rng: np.random.Generator, shape: tuple[int, int], dtype: str = "float32"
+) -> np.ndarray:
+    """He uniform for ReLU fan-in matrices ``(fan_in, fan_out)``."""
+    fan_in = shape[0]
+    bound = math.sqrt(6.0 / fan_in)
+    return uniform(rng, shape, -bound, bound, dtype=dtype)

@@ -1,0 +1,94 @@
+"""Core layer modules: Linear, LayerNorm, Embedding.
+
+These are the position-wise operations the paper's partition method relies
+on: each of them maps row ``i`` of the input to row ``i`` of the output with
+no cross-position interaction, so a device holding positions ``[a, b)`` can
+run them on its slice alone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tensor import functional as F
+from repro.tensor import init
+from repro.tensor.module import Module, Parameter
+
+__all__ = ["Linear", "LayerNorm", "Embedding"]
+
+
+class Linear(Module):
+    """Affine layer with ``(in_features, out_features)`` weight orientation.
+
+    The orientation matches the paper's ``W in R^{F x F_H}`` convention so
+    that ``y = x @ W + b`` and Γ(xW) = N·F·F_H with no hidden transposes.
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator | None = None,
+        bias: bool = True,
+        std: float = 0.02,
+    ):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.normal(rng, (in_features, out_features), std=std))
+        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.linear(x, self.weight.data, self.bias.data if self.bias else None)
+
+    def flops(self, n_rows: int) -> int:
+        """Matmul FLOPs for an ``(n_rows, in_features)`` input (paper's Γ)."""
+        return n_rows * self.in_features * self.out_features
+
+    def __repr__(self) -> str:
+        return f"Linear(in={self.in_features}, out={self.out_features}, bias={self.bias is not None})"
+
+
+class LayerNorm(Module):
+    """Learned layer normalisation over the last (feature) axis."""
+
+    def __init__(self, normalized_shape: int, eps: float = 1e-5):
+        super().__init__()
+        self.normalized_shape = normalized_shape
+        self.eps = eps
+        self.weight = Parameter(init.ones((normalized_shape,)))
+        self.bias = Parameter(init.zeros((normalized_shape,)))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.shape[-1] != self.normalized_shape:
+            raise ValueError(
+                f"LayerNorm expected last dim {self.normalized_shape}, got {x.shape[-1]}"
+            )
+        return F.layer_norm(x, self.weight.data, self.bias.data, eps=self.eps)
+
+    def __repr__(self) -> str:
+        return f"LayerNorm({self.normalized_shape}, eps={self.eps})"
+
+
+class Embedding(Module):
+    """Integer-id to dense-vector lookup table."""
+
+    def __init__(
+        self,
+        num_embeddings: int,
+        embedding_dim: int,
+        rng: np.random.Generator | None = None,
+        std: float = 0.02,
+    ):
+        super().__init__()
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.weight = Parameter(init.normal(rng, (num_embeddings, embedding_dim), std=std))
+
+    def forward(self, ids: np.ndarray) -> np.ndarray:
+        return F.embedding(ids, self.weight.data)
+
+    def __repr__(self) -> str:
+        return f"Embedding(num={self.num_embeddings}, dim={self.embedding_dim})"

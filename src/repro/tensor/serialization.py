@@ -1,0 +1,84 @@
+"""Checkpoint (de)serialisation: state dicts ↔ ``.npz`` archives.
+
+Voltage's deployment model ships a full weight replica to every device; in
+practice that replica is a checkpoint file.  This module provides the
+round-trip — compressed ``.npz`` with a manifest of names/shapes/dtypes —
+plus integrity checks so a device can refuse a truncated or mismatched
+replica instead of silently computing garbage.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.tensor.module import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint", "checkpoint_manifest", "CheckpointError"]
+
+_MANIFEST_KEY = "__manifest__"
+
+
+class CheckpointError(RuntimeError):
+    """Malformed or incompatible checkpoint."""
+
+
+def _flatten_name(name: str) -> str:
+    # np.savez forbids '/' in some toolchains; dotted names are fine but we
+    # normalise to be explicit about the mapping
+    return name
+
+
+def save_checkpoint(model: Module, path: str | Path, compress: bool = True) -> Path:
+    """Write ``model``'s parameters to ``path`` (``.npz`` appended if absent)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    state = model.state_dict()
+    manifest = np.array(sorted(state.keys()), dtype=object)
+    arrays = {_flatten_name(name): value for name, value in state.items()}
+    arrays[_MANIFEST_KEY] = manifest
+    path.parent.mkdir(parents=True, exist_ok=True)
+    saver = np.savez_compressed if compress else np.savez
+    saver(path, **arrays)
+    return path
+
+
+def checkpoint_manifest(path: str | Path) -> list[str]:
+    """Parameter names stored in a checkpoint, without loading tensors."""
+    with np.load(Path(path), allow_pickle=True) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise CheckpointError(f"{path} has no manifest — not a repro checkpoint")
+        return [str(name) for name in archive[_MANIFEST_KEY]]
+
+
+def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> None:
+    """Load a checkpoint into ``model`` in place.
+
+    ``strict=True`` (default) requires an exact name match in both
+    directions; shapes are always validated by ``Parameter.copy_``.
+    ``strict=False`` loads the intersection (e.g. a backbone into a model
+    with a fresh task head).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=True) as archive:
+        if _MANIFEST_KEY not in archive:
+            raise CheckpointError(f"{path} has no manifest — not a repro checkpoint")
+        stored = {str(n) for n in archive[_MANIFEST_KEY]}
+        own = dict(model.named_parameters())
+        missing = sorted(set(own) - stored)
+        unexpected = sorted(stored - set(own))
+        if strict and (missing or unexpected):
+            raise CheckpointError(
+                f"checkpoint mismatch: missing={missing}, unexpected={unexpected}"
+            )
+        for name, param in own.items():
+            if name not in stored:
+                continue
+            try:
+                param.copy_(archive[_flatten_name(name)])
+            except ValueError as exc:
+                raise CheckpointError(f"parameter {name!r}: {exc}") from exc

@@ -1,0 +1,100 @@
+"""The analytic latency models must agree with the real systems exactly.
+
+This is what licenses running the big-model figure sweeps (Figs. 4–5)
+without instantiating 1.3 GB of BERT-Large weights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import analytic
+from repro.cluster.spec import ClusterSpec
+from repro.models import BertModel, GPT2Model, tiny_config
+from repro.systems import (
+    PipelineParallelSystem,
+    SingleDeviceSystem,
+    TensorParallelSystem,
+    VoltageSystem,
+)
+
+
+@pytest.fixture
+def bert():
+    return BertModel(tiny_config(num_layers=3), num_classes=3, rng=np.random.default_rng(5))
+
+
+@pytest.fixture
+def gpt2():
+    cfg = tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, num_layers=2)
+    return GPT2Model(cfg, rng=np.random.default_rng(5))
+
+
+CLUSTERS = [
+    ClusterSpec.homogeneous(1, gflops=3.0, bandwidth_mbps=500),
+    ClusterSpec.homogeneous(4, gflops=3.0, bandwidth_mbps=300),
+    ClusterSpec.heterogeneous([1.0, 2.0, 4.0], bandwidth_mbps=700),
+]
+
+
+def phases_of(breakdown):
+    return [(p.name, p.kind, pytest.approx(p.seconds, rel=1e-12)) for p in breakdown.phases]
+
+
+class TestSingleDeviceConsistency:
+    def test_breakdown_matches(self, bert):
+        cluster = CLUSTERS[0]
+        ids = bert.encode_text("analytic consistency check input")
+        system_result = SingleDeviceSystem(bert, cluster).run(ids)
+        model = analytic.single_device_latency(
+            bert.config, len(ids), cluster,
+            post_flops=bert.postprocess_flops(len(ids)),
+        )
+        assert phases_of(model) == phases_of(system_result.latency)
+
+
+class TestVoltageConsistency:
+    @pytest.mark.parametrize("cluster", CLUSTERS[1:], ids=["homog4", "hetero3"])
+    def test_breakdown_matches(self, bert, cluster):
+        ids = bert.encode_text("one two three four five six seven eight nine ten " * 2)
+        system_result = VoltageSystem(bert, cluster).run(ids)
+        model = analytic.voltage_latency(
+            bert.config, len(ids), cluster,
+            post_flops=bert.postprocess_flops(len(ids)),
+        )
+        assert phases_of(model) == phases_of(system_result.latency)
+
+    def test_causal_model_breakdown(self, gpt2):
+        cluster = CLUSTERS[1]
+        ids = np.arange(1, 20)
+        system_result = VoltageSystem(gpt2, cluster).run(ids)
+        model = analytic.voltage_latency(
+            gpt2.config, len(ids), cluster,
+            post_flops=gpt2.postprocess_flops(len(ids)),
+        )
+        assert phases_of(model) == phases_of(system_result.latency)
+
+
+class TestTensorParallelConsistency:
+    @pytest.mark.parametrize("k", [2, 3, 5])
+    def test_breakdown_matches(self, bert, k):
+        cluster = ClusterSpec.homogeneous(k, gflops=3.0, bandwidth_mbps=400)
+        ids = bert.encode_text("shards must cost exactly what the model says")
+        system_result = TensorParallelSystem(bert, cluster).run(ids)
+        model = analytic.tensor_parallel_latency(
+            bert.config, len(ids), cluster,
+            post_flops=bert.postprocess_flops(len(ids)),
+        )
+        assert phases_of(model) == phases_of(system_result.latency)
+
+
+class TestPipelineConsistency:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_breakdown_matches(self, bert, k):
+        cluster = ClusterSpec.homogeneous(k, gflops=3.0, bandwidth_mbps=400)
+        ids = bert.encode_text("pipeline stages in sequence")
+        system_result = PipelineParallelSystem(bert, cluster).run(ids)
+        model = analytic.pipeline_latency(
+            bert.config, len(ids), cluster,
+            post_flops=bert.postprocess_flops(len(ids)),
+        )
+        assert phases_of(model) == phases_of(system_result.latency)

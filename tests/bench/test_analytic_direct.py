@@ -1,0 +1,103 @@
+"""Direct unit tests for the analytic latency models.
+
+(The phase-by-phase equality against the executing systems lives in
+``test_analytic_consistency.py``; these cover behaviours of the models
+themselves — monotonicities, phase structure, parameter effects.)
+"""
+
+import pytest
+
+from repro.bench import analytic
+from repro.cluster.spec import ClusterSpec, paper_cluster
+from repro.models.config import tiny_config
+
+CONFIG = tiny_config(num_layers=4)
+N = 40
+
+
+class TestPhaseStructure:
+    def test_single_device_phase_count(self):
+        latency = analytic.single_device_latency(CONFIG, N, paper_cluster(1))
+        # pre + ship + 4 layers + return + post
+        assert len(latency.phases) == 8
+
+    def test_voltage_phase_count(self):
+        latency = analytic.voltage_latency(CONFIG, N, paper_cluster(4))
+        # pre + broadcast + 4x(compute+comm) + post
+        assert len(latency.phases) == 11
+
+    def test_tp_phase_count(self):
+        latency = analytic.tensor_parallel_latency(CONFIG, N, paper_cluster(4))
+        # pre + broadcast + 4x(compute+comm) + return + post
+        assert len(latency.phases) == 12
+
+    def test_pipeline_phase_count(self):
+        latency = analytic.pipeline_latency(CONFIG, N, paper_cluster(2))
+        # pre + ship + 2x(stage compute + hop) + post
+        assert len(latency.phases) == 7
+
+
+class TestMonotonicities:
+    def test_all_models_improve_with_bandwidth(self):
+        for fn in (analytic.voltage_latency, analytic.tensor_parallel_latency):
+            slow = fn(CONFIG, N, paper_cluster(4, 100)).total_seconds
+            fast = fn(CONFIG, N, paper_cluster(4, 1000)).total_seconds
+            assert fast < slow
+
+    def test_latency_grows_with_sequence_length(self):
+        for fn in (
+            analytic.single_device_latency,
+            analytic.voltage_latency,
+            analytic.tensor_parallel_latency,
+            analytic.pipeline_latency,
+        ):
+            short = fn(CONFIG, 16, paper_cluster(4)).total_seconds
+            long = fn(CONFIG, 64, paper_cluster(4)).total_seconds
+            assert long > short, fn.__name__
+
+    def test_voltage_compute_shrinks_with_devices(self):
+        c2 = analytic.voltage_latency(CONFIG, N, paper_cluster(2)).compute_seconds
+        c6 = analytic.voltage_latency(CONFIG, N, paper_cluster(6)).compute_seconds
+        assert c6 < c2
+
+    def test_pipeline_compute_constant_in_devices(self):
+        """Layer-staging never reduces a single request's total compute."""
+        c1 = analytic.pipeline_latency(CONFIG, N, paper_cluster(1)).compute_seconds
+        c4 = analytic.pipeline_latency(CONFIG, N, paper_cluster(4)).compute_seconds
+        assert c4 == pytest.approx(c1, rel=1e-9)
+
+
+class TestParameters:
+    def test_wire_itemsize_scales_allgather_only(self):
+        fp32 = analytic.voltage_latency(CONFIG, N, paper_cluster(4), wire_itemsize=4)
+        int8 = analytic.voltage_latency(CONFIG, N, paper_cluster(4), wire_itemsize=1)
+        assert int8.comm_seconds < fp32.comm_seconds
+        assert int8.compute_seconds == pytest.approx(fp32.compute_seconds)
+        # the float32 input broadcast is unchanged
+        fp32_bcast = next(p for p in fp32.phases if p.name == "broadcast input")
+        int8_bcast = next(p for p in int8.phases if p.name == "broadcast input")
+        assert fp32_bcast.seconds == int8_bcast.seconds
+
+    def test_terminal_flops_accounted(self):
+        base = analytic.single_device_latency(CONFIG, N, paper_cluster(1))
+        heavy = analytic.single_device_latency(
+            CONFIG, N, paper_cluster(1), pre_flops=10**9, post_flops=10**9
+        )
+        assert heavy.total_seconds > base.total_seconds
+
+    def test_heterogeneous_cluster_slowest_gates_voltage(self):
+        balanced = ClusterSpec.heterogeneous([26.0, 26.0])
+        skewed = ClusterSpec.heterogeneous([1.0, 51.0])  # same total speed
+        even_balanced = analytic.voltage_latency(CONFIG, N, balanced).compute_seconds
+        even_skewed = analytic.voltage_latency(CONFIG, N, skewed).compute_seconds
+        assert even_skewed > even_balanced  # even split stalls on the slow device
+
+    def test_custom_scheme_changes_makespan(self):
+        from repro.core.partition import PartitionScheme
+
+        cluster = ClusterSpec.heterogeneous([1.0, 10.0])
+        even = analytic.voltage_latency(CONFIG, N, cluster).compute_seconds
+        tuned = analytic.voltage_latency(
+            CONFIG, N, cluster, scheme=PartitionScheme.proportional([1.0, 10.0])
+        ).compute_seconds
+        assert tuned < even

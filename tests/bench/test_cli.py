@@ -1,0 +1,63 @@
+"""Tests for the voltage-bench CLI."""
+
+import json
+
+import pytest
+
+from repro.bench.cli import main
+
+
+class TestCli:
+    def test_comm_target_prints_table(self, capsys):
+        assert main(["comm"]) == 0
+        out = capsys.readouterr().out
+        assert "comm_volume" in out
+        assert "4x" in out
+
+    def test_headline_target(self, capsys):
+        assert main(["headline"]) == 0
+        out = capsys.readouterr().out
+        assert "BERT-Large" in out
+        assert "communication reduction: 4.0x" in out
+
+    def test_fig4_with_reduced_devices(self, capsys):
+        assert main(["fig4", "--devices", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4a" in out and "fig4c" in out
+
+    def test_fig6_model_mode(self, capsys):
+        assert main(["fig6", "--model"]) == 0
+        out = capsys.readouterr().out
+        assert "fig6a" in out and "mode=model" in out
+
+    def test_ablations_target(self, capsys):
+        assert main(["ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation_orders" in out and "ablation_hetero" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        assert main(["comm", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "comm_volume.json").read_text())
+        assert data["name"] == "comm_volume"
+
+    def test_headline_json(self, tmp_path, capsys):
+        assert main(["headline", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "headline.json").read_text())
+        assert "workloads" in data
+
+    def test_profile_target(self, capsys):
+        assert main(["profile", "--layers", "1", "--words", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "layer[0]" in out and "cost-model check" in out
+
+    def test_serving_target(self, capsys):
+        assert main(["serving"]) == 0
+        assert "serving_tail" in capsys.readouterr().out
+
+    def test_comm_includes_memory_table(self, capsys):
+        assert main(["comm"]) == 0
+        assert "memory_tradeoff" in capsys.readouterr().out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig7"])

@@ -1,0 +1,86 @@
+"""Shape assertions for the extension figures (beyond the paper's set)."""
+
+import pytest
+
+from repro.bench import figures
+
+
+class TestDynamicSchemeAblation:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.ablation_dynamic_schemes(
+            slowdowns=(1.0, 3.0, 6.0), num_layers=6, n=48
+        )
+
+    def test_three_modes(self, fig):
+        assert {s.label for s in fig.series} == {"static", "dynamic", "oracle"}
+
+    def test_ordering_oracle_dynamic_static(self, fig):
+        for slowdown in (3.0, 6.0):
+            oracle = fig.series_by_label("oracle").y_at(slowdown)
+            dynamic = fig.series_by_label("dynamic").y_at(slowdown)
+            static = fig.series_by_label("static").y_at(slowdown)
+            assert oracle <= dynamic * (1 + 1e-9) <= static * (1 + 1e-9)
+            assert dynamic < static
+
+    def test_no_straggler_no_difference(self, fig):
+        values = [s.y_at(1.0) for s in fig.series]
+        assert max(values) == pytest.approx(min(values), rel=1e-6)
+
+
+class TestEfficientCommTable:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.efficient_attention_comm_table()
+
+    def test_state_volume_n_independent(self, fig):
+        for label in (
+            "+ linear-attention state All-Reduce",
+            "+ Linformer state All-Reduce",
+        ):
+            series = fig.series_by_label(label)
+            assert len(set(series.ys)) == 1
+
+    def test_gather_grows_linearly_with_n(self, fig):
+        gather = fig.series_by_label("output All-Gather (all variants)")
+        assert gather.y_at(800) == pytest.approx(8 * gather.y_at(100), rel=1e-6)
+
+
+class TestMemoryTradeoffTable:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.memory_tradeoff_table()
+
+    def test_voltage_memory_flat_in_k(self, fig):
+        voltage = fig.series_by_label("Voltage BERT-Large")
+        assert voltage.y_at(8) > voltage.y_at(1) * 0.95
+
+    def test_tp_memory_shrinks(self, fig):
+        tensor = fig.series_by_label("TP BERT-Large")
+        assert tensor.y_at(8) < tensor.y_at(1) / 5
+
+    def test_equal_at_k1(self, fig):
+        for label in ("BERT-Large", "ViT-B/16", "GPT-2"):
+            voltage = fig.series_by_label(f"Voltage {label}").y_at(1)
+            tensor = fig.series_by_label(f"TP {label}").y_at(1)
+            assert voltage == pytest.approx(tensor, rel=0.01)
+
+
+class TestServingSweep:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.serving_tail_latency(rates=(0.05, 0.6), num_requests=30)
+
+    def test_five_strategies(self, fig):
+        assert len(fig.series) == 5
+
+    def test_voltage_beats_monolithic_rivals_at_low_rate(self, fig):
+        voltage = fig.series_by_label("voltage")
+        assert voltage.y_at(0.05) < fig.series_by_label("single-device").y_at(0.05)
+        assert voltage.y_at(0.05) < fig.series_by_label("tensor-parallel").y_at(0.05)
+
+    def test_saturation_hurts_monolithic_strategies(self, fig):
+        voltage = fig.series_by_label("voltage")
+        data_parallel = fig.series_by_label("data-parallel")
+        assert voltage.y_at(0.6) > voltage.y_at(0.05)
+        assert data_parallel.y_at(0.6) < voltage.y_at(0.6)

@@ -1,0 +1,252 @@
+"""Shape assertions for the reproduced figures.
+
+These encode the paper's qualitative findings — "who wins, by roughly what
+factor, where crossovers fall" — as executable checks:
+
+- Fig. 4: Voltage beats single-device at K ≥ 2; tensor parallelism does not.
+- Fig. 5: Voltage wins from 400 Mbps; TP is slower than single-device at
+  every bandwidth ≤ 900 Mbps; both struggle at 200 Mbps.
+- Fig. 6: naive speed-up plateaus; Voltage keeps scaling; the gap widens
+  with F_H.
+- Comm table: TP/Voltage = exactly 4×.
+- Ablations: adaptive order = pointwise min; makespan scheme ≤ even split.
+"""
+
+import pytest
+
+from repro.bench import figures
+from repro.core import complexity
+
+
+@pytest.fixture(scope="module")
+def fig4():
+    return figures.figure4()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return figures.figure5()
+
+
+@pytest.fixture(scope="module")
+def fig6_model():
+    return figures.figure6(mode="model")
+
+
+class TestFigure4:
+    def test_three_subfigures(self, fig4):
+        assert set(fig4) == {"bert", "vit", "gpt2"}
+
+    @pytest.mark.parametrize("key", ["bert", "vit", "gpt2"])
+    def test_voltage_beats_single_device_everywhere(self, fig4, key):
+        voltage = fig4[key].series_by_label("Voltage")
+        single = voltage.y_at(1)
+        for k in range(2, 7):
+            assert voltage.y_at(k) < single, (key, k)
+
+    @pytest.mark.parametrize("key", ["bert", "vit", "gpt2"])
+    def test_tensor_parallelism_loses_to_single_device(self, fig4, key):
+        """The paper's core negative result at 500 Mbps."""
+        tensor = fig4[key].series_by_label("Tensor Parallelism")
+        single = tensor.y_at(1)
+        for k in range(2, 7):
+            assert tensor.y_at(k) > single, (key, k)
+
+    def test_bert_reduction_factor_close_to_paper(self, fig4):
+        """Paper: up to 27.9% for BERT with six devices; accept 20-45%."""
+        voltage = fig4["bert"].series_by_label("Voltage")
+        reduction = 1 - min(voltage.ys) / voltage.y_at(1)
+        assert 0.20 < reduction < 0.45
+
+    def test_bert_voltage_monotone_decreasing(self, fig4):
+        ys = fig4["bert"].series_by_label("Voltage").ys
+        assert all(b <= a * 1.01 for a, b in zip(ys, ys[1:]))
+
+    @pytest.mark.parametrize("key", ["vit", "gpt2"])
+    def test_smaller_models_win_but_less(self, fig4, key):
+        """ViT/GPT-2 improve by a smaller factor (fewer layers to amortise
+        the per-layer synchronisation)."""
+        voltage = fig4[key].series_by_label("Voltage")
+        reduction = 1 - min(voltage.ys) / voltage.y_at(1)
+        assert 0.05 < reduction < 0.45
+
+
+class TestFigure5:
+    def test_voltage_improves_from_400mbps(self, fig5):
+        """Paper: 'Voltage achieves improved performance starting from
+        400 Mbps' — check for all three models."""
+        for key in ("bert", "vit", "gpt2"):
+            fig = fig5[key]
+            voltage = fig.series_by_label("Voltage")
+            single = fig.series_by_label("Single Device")
+            for bandwidth in (400, 500, 1000):
+                assert voltage.y_at(bandwidth) < single.y_at(bandwidth), (key, bandwidth)
+
+    def test_200mbps_is_breakeven_or_worse(self, fig5):
+        """Paper: 'both methods fail to improve at 200 Mbps'."""
+        for key in ("vit", "gpt2"):
+            fig = fig5[key]
+            assert fig.series_by_label("Voltage").y_at(200) > fig.series_by_label(
+                "Single Device"
+            ).y_at(200)
+        # BERT sits essentially at break-even in our calibration
+        bert = fig5["bert"]
+        ratio = bert.series_by_label("Voltage").y_at(200) / bert.series_by_label(
+            "Single Device"
+        ).y_at(200)
+        assert ratio > 0.93
+
+    def test_tp_needs_about_1000mbps(self, fig5):
+        """Paper: TP 'requires at least 1000 Mbps to outperform single'."""
+        bert = fig5["bert"]
+        tensor = bert.series_by_label("Tensor Parallelism")
+        single = bert.series_by_label("Single Device")
+        for bandwidth in (200, 300, 400, 500, 600, 700, 800, 900):
+            assert tensor.y_at(bandwidth) > single.y_at(bandwidth), bandwidth
+        # at 1000 Mbps TP is within ~10% of single (the crossover region)
+        assert tensor.y_at(1000) / single.y_at(1000) < 1.12
+
+    def test_tp_at_200mbps_much_slower(self, fig5):
+        """Paper: 4.2× at 200 Mbps; our ring-optimal model gives ≥ 2×."""
+        bert = fig5["bert"]
+        ratio = bert.series_by_label("Tensor Parallelism").y_at(200) / bert.series_by_label(
+            "Single Device"
+        ).y_at(200)
+        assert ratio > 2.0
+
+    def test_everything_improves_with_bandwidth(self, fig5):
+        for key in ("bert", "vit", "gpt2"):
+            for label in ("Voltage", "Tensor Parallelism"):
+                ys = fig5[key].series_by_label(label).ys
+                assert all(b < a for a, b in zip(ys, ys[1:])), (key, label)
+
+
+class TestFigure6:
+    def test_three_settings(self, fig6_model):
+        assert set(fig6_model) == {"h16", "h8", "h4"}
+
+    def test_voltage_dominates_naive_at_high_k(self, fig6_model):
+        for fig in fig6_model.values():
+            for n in figures.FIG6_LENGTHS:
+                voltage = fig.series_by_label(f"Voltage (N={n})")
+                naive = fig.series_by_label(f"Naive (N={n})")
+                assert voltage.y_at(10) > naive.y_at(10)
+
+    def test_naive_plateaus(self, fig6_model):
+        """The 2·N·F·F_H constant term caps the naive speed-up: going from
+        K=5 to K=10 buys almost nothing."""
+        for fig in fig6_model.values():
+            naive = fig.series_by_label("Naive (N=200)")
+            assert naive.y_at(10) / naive.y_at(5) < 1.35
+
+    def test_voltage_keeps_scaling(self, fig6_model):
+        for fig in fig6_model.values():
+            voltage = fig.series_by_label("Voltage (N=200)")
+            assert voltage.y_at(10) / voltage.y_at(5) > 1.35
+
+    def test_gap_widens_with_head_dim(self, fig6_model):
+        """Paper: the Voltage/naive gap grows as F_H goes 64 → 256 (up to
+        3.4×) because the naive method must build K, V ∈ R^{N×F_H}."""
+
+        def gap(fig_key):
+            fig = fig6_model[fig_key]
+            return fig.series_by_label("Voltage (N=300)").y_at(10) / fig.series_by_label(
+                "Naive (N=300)"
+            ).y_at(10)
+
+        assert gap("h16") < gap("h8") < gap("h4")
+        assert gap("h4") > 2.0
+
+    def test_speedups_exceed_one(self, fig6_model):
+        for fig in fig6_model.values():
+            for series in fig.series:
+                assert all(y > 1.0 for y in series.ys)
+
+    def test_model_mode_matches_theorem3_switch(self, fig6_model):
+        """Below Theorem 3's K*, Voltage and naive coincide exactly
+        (Algorithm 1 picks Eq. (3) there)."""
+        fig = fig6_model["h16"]
+        k_star = complexity.theorem3_min_partitions(300, 1024, 64)
+        voltage = fig.series_by_label("Voltage (N=300)")
+        naive = fig.series_by_label("Naive (N=300)")
+        for k in range(2, int(k_star)):
+            assert voltage.y_at(k) == pytest.approx(naive.y_at(k))
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(ValueError, match="incompatible"):
+            figures.figure6(settings=((3, 100),), mode="model")
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            figures.figure6(mode="guess")
+
+
+class TestCommVolumeTable:
+    def test_ratio_is_four(self):
+        fig = figures.comm_volume_table()
+        for key in ("BERT-Large", "ViT-B/16", "GPT-2"):
+            voltage = fig.series_by_label(f"Voltage {key}")
+            tensor = fig.series_by_label(f"TP {key}")
+            for k in (2, 3, 4, 5, 6):
+                assert tensor.y_at(k) / voltage.y_at(k) == pytest.approx(4.0)
+
+    def test_volume_grows_with_k(self):
+        fig = figures.comm_volume_table()
+        ys = fig.series_by_label("Voltage BERT-Large").ys
+        assert all(b > a for a, b in zip(ys, ys[1:]))
+
+
+class TestAblations:
+    def test_adaptive_is_pointwise_minimum(self):
+        fig = figures.ablation_order_choice()
+        eq3 = fig.series_by_label("fixed Eq.(3)")
+        eq8 = fig.series_by_label("fixed Eq.(8)")
+        adaptive = fig.series_by_label("adaptive (Theorem 2)")
+        for x in adaptive.xs:
+            assert adaptive.y_at(x) == pytest.approx(min(eq3.y_at(x), eq8.y_at(x)))
+
+    def test_order_curves_cross(self):
+        """Eq. (3) wins at small K, Eq. (8) at large K — the curves cross."""
+        fig = figures.ablation_order_choice()
+        eq3 = fig.series_by_label("fixed Eq.(3)")
+        eq8 = fig.series_by_label("fixed Eq.(8)")
+        assert eq3.y_at(1) < eq8.y_at(1)
+        assert eq8.y_at(12) < eq3.y_at(12)
+
+    def test_hetero_optimal_never_worse_than_even(self):
+        fig = figures.ablation_heterogeneous()
+        even = fig.series_by_label("even 1/K")
+        optimal = fig.series_by_label("makespan-optimal")
+        for x in even.xs:
+            assert optimal.y_at(x) <= even.y_at(x) * (1 + 1e-9)
+
+    def test_hetero_gain_grows_with_skew(self):
+        fig = figures.ablation_heterogeneous()
+        even = fig.series_by_label("even 1/K")
+        optimal = fig.series_by_label("makespan-optimal")
+        gain_low = even.y_at(1.0) - optimal.y_at(1.0)
+        gain_high = even.y_at(4.0) - optimal.y_at(4.0)
+        assert gain_high > gain_low
+
+
+class TestHeadlineSummary:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return figures.headline_summary()
+
+    def test_comm_factor(self, summary):
+        assert summary["comm_reduction_factor"] == pytest.approx(4.0)
+
+    def test_all_models_improve(self, summary):
+        for stats in summary["workloads"].values():
+            assert stats["voltage_reduction_pct"] > 5.0
+            assert stats["tp_at_k6_over_single"] > 1.0
+
+    def test_tp_slowdown_at_200(self, summary):
+        assert summary["tp_slowdown_at_200mbps"] > 2.0
+
+    def test_crossover_structure(self, summary):
+        crossings = summary["bert_bandwidth_crossovers"]
+        assert crossings[500]["voltage_wins"]
+        assert not crossings[500]["tp_wins"]
+        assert not crossings[200]["tp_wins"]

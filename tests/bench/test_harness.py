@@ -1,0 +1,85 @@
+"""Tests for the benchmark harness primitives."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import FigureResult, Series, format_aligned, time_callable
+
+
+class TestSeries:
+    def test_add_and_access(self):
+        series = Series("s")
+        series.add(1, 10.0)
+        series.add(2, 20.0)
+        assert series.xs == [1, 2]
+        assert series.ys == [10.0, 20.0]
+        assert series.y_at(2) == 20.0
+
+    def test_missing_x(self):
+        with pytest.raises(KeyError):
+            Series("s").y_at(1)
+
+
+class TestFigureResult:
+    def make(self):
+        fig = FigureResult(name="f", title="t", xlabel="x", ylabel="y")
+        a = Series("a")
+        a.add(1, 1.0)
+        a.add(2, 2.0)
+        b = Series("b")
+        b.add(1, 3.0)
+        fig.series = [a, b]
+        fig.notes.append("hello")
+        return fig
+
+    def test_series_by_label(self):
+        fig = self.make()
+        assert fig.series_by_label("a").y_at(1) == 1.0
+        with pytest.raises(KeyError):
+            fig.series_by_label("zz")
+
+    def test_format_table_contains_values_and_dashes(self):
+        table = self.make().format_table(precision=1)
+        assert "1.0" in table and "3.0" in table
+        assert "-" in table  # series b has no point at x=2
+        assert "note: hello" in table
+
+    def test_json_roundtrip(self):
+        fig = self.make()
+        data = json.loads(fig.to_json())
+        assert data["name"] == "f"
+        assert data["series"]["a"] == [[1.0, 1.0], [2.0, 2.0]]
+
+
+class TestFormatAligned:
+    def test_columns_are_padded(self):
+        out = format_aligned([["h", "col"], ["xxx", "1"]])
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])
+
+    def test_empty(self):
+        assert format_aligned([]) == ""
+
+
+class TestTimeCallable:
+    def test_returns_positive_time(self):
+        assert time_callable(lambda: sum(range(1000)), repeats=2, number=2) > 0
+
+    def test_counts_calls(self):
+        calls = []
+        time_callable(lambda: calls.append(1), repeats=2, number=3, warmup=1)
+        assert len(calls) == 1 + 2 * 3
+
+    def test_min_of_repeats_filters_outliers(self):
+        import time as time_module
+
+        state = {"first": True}
+
+        def sometimes_slow():
+            if state["first"]:
+                state["first"] = False
+                time_module.sleep(0.02)
+
+        measured = time_callable(sometimes_slow, repeats=3, number=1, warmup=0)
+        assert measured < 0.01

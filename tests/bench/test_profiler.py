@@ -1,0 +1,107 @@
+"""Tests for the span profiler."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.bench.profiler import Profiler, profile_model_forward
+from repro.models import BertModel, tiny_config
+
+
+class TestProfiler:
+    def test_span_records_time(self):
+        profiler = Profiler()
+        with profiler.span("work"):
+            time.sleep(0.01)
+        assert profiler.seconds("work") >= 0.01
+        assert profiler.spans["work"].count == 1
+
+    def test_repeated_spans_aggregate(self):
+        profiler = Profiler()
+        for _ in range(3):
+            with profiler.span("loop"):
+                pass
+        assert profiler.spans["loop"].count == 3
+        assert profiler.spans["loop"].mean_seconds == pytest.approx(
+            profiler.spans["loop"].total_seconds / 3
+        )
+
+    def test_span_survives_exceptions(self):
+        profiler = Profiler()
+        with pytest.raises(RuntimeError):
+            with profiler.span("explode"):
+                raise RuntimeError("boom")
+        assert profiler.spans["explode"].count == 1
+
+    def test_fraction_sums_to_one(self):
+        profiler = Profiler()
+        with profiler.span("a"):
+            time.sleep(0.002)
+        with profiler.span("b"):
+            time.sleep(0.002)
+        assert profiler.fraction("a") + profiler.fraction("b") == pytest.approx(1.0)
+
+    def test_unknown_label(self):
+        with pytest.raises(KeyError):
+            Profiler().seconds("ghost")
+
+    def test_table_format(self):
+        profiler = Profiler()
+        with profiler.span("stage-one"):
+            pass
+        table = profiler.table()
+        assert "stage-one" in table and "share" in table
+
+    def test_merge(self):
+        a, b = Profiler(), Profiler()
+        with a.span("x"):
+            pass
+        with b.span("x"):
+            pass
+        with b.span("y"):
+            pass
+        merged = a.merge(b)
+        assert merged.spans["x"].count == 2
+        assert merged.spans["y"].count == 1
+
+    def test_min_max_tracking(self):
+        profiler = Profiler()
+        with profiler.span("v"):
+            time.sleep(0.005)
+        with profiler.span("v"):
+            pass
+        stats = profiler.spans["v"]
+        assert stats.min_seconds <= stats.max_seconds
+        assert stats.max_seconds >= 0.005
+
+
+class TestProfileModelForward:
+    def test_output_matches_plain_forward(self):
+        model = BertModel(tiny_config(num_layers=2), num_classes=2,
+                          rng=np.random.default_rng(0))
+        ids = model.encode_text("profile me")
+        output, profiler = profile_model_forward(model, ids)
+        np.testing.assert_allclose(output, model(ids), atol=1e-6)
+
+    def test_one_span_per_layer_plus_stages(self):
+        model = BertModel(tiny_config(num_layers=3), num_classes=2,
+                          rng=np.random.default_rng(0))
+        _, profiler = profile_model_forward(model, model.encode_text("hello"))
+        labels = set(profiler.spans)
+        assert {"preprocess", "postprocess", "layer[0]", "layer[1]", "layer[2]"} <= labels
+
+    def test_layers_dominate_runtime(self):
+        """Transformer layers must dominate embeds/head for a real model —
+        the structural fact the whole distribution story rests on."""
+        model = BertModel(
+            tiny_config(num_layers=4, hidden_size=128, num_heads=8, ffn_dim=512),
+            num_classes=2,
+            rng=np.random.default_rng(0),
+        )
+        ids = np.arange(2, 60)
+        _, profiler = profile_model_forward(model, ids)
+        layer_time = sum(
+            profiler.seconds(f"layer[{i}]") for i in range(model.num_layers)
+        )
+        assert layer_time / profiler.total_seconds > 0.5

@@ -1,0 +1,45 @@
+"""Tests for the paper workload definitions."""
+
+import numpy as np
+
+from repro.bench.workloads import paper_workloads, random_image, random_text, random_token_ids
+
+
+class TestPaperWorkloads:
+    def test_three_models_present(self):
+        loads = paper_workloads()
+        assert set(loads) == {"bert", "vit", "gpt2"}
+
+    def test_sequence_lengths_match_paper(self):
+        loads = paper_workloads()
+        assert loads["bert"].n == 202  # 200 words + CLS + SEP
+        assert loads["vit"].n == 197  # 196 patches + CLS
+        assert loads["gpt2"].n == 200
+
+    def test_bert_config_is_large(self):
+        assert paper_workloads()["bert"].config.num_layers == 24
+
+    def test_terminal_flops(self):
+        loads = paper_workloads()
+        assert loads["vit"].pre_flops > 0  # patch projection
+        assert loads["gpt2"].post_flops == 768 * 50257  # tied LM head
+        assert loads["bert"].post_flops > 0
+
+
+class TestGenerators:
+    def test_random_text_word_count(self):
+        assert len(random_text(200).split()) == 200
+
+    def test_random_text_deterministic_per_seed(self):
+        assert random_text(10, seed=3) == random_text(10, seed=3)
+        assert random_text(10, seed=3) != random_text(10, seed=4)
+
+    def test_random_image_shape(self):
+        image = random_image(size=64)
+        assert image.shape == (3, 64, 64)
+        assert image.dtype == np.float32
+
+    def test_random_token_ids_range(self):
+        ids = random_token_ids(50, vocab_size=100)
+        assert ids.shape == (50,)
+        assert ids.min() >= 0 and ids.max() < 100

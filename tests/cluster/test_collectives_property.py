@@ -1,0 +1,67 @@
+"""Property tests for the collective cost models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import collectives as coll
+from repro.cluster.network import NetworkSpec
+
+
+def net(bandwidth=500.0, latency=0.004, efficiency=1.0):
+    return NetworkSpec(bandwidth_mbps=bandwidth, latency_seconds=latency,
+                       efficiency=efficiency)
+
+
+class TestCostModelProperties:
+    @given(k=st.integers(2, 16), chunk=st.floats(1.0, 1e7))
+    @settings(max_examples=50, deadline=None)
+    def test_allgather_linear_in_steps(self, k, chunk):
+        t = coll.all_gather_seconds(net(), [chunk] * k)
+        per_step = net().transfer_seconds(chunk)
+        assert t == pytest.approx((k - 1) * per_step)
+
+    @given(k=st.integers(2, 16), nbytes=st.floats(1.0, 1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_allreduce_volume_never_exceeds_twice_tensor(self, k, nbytes):
+        assert coll.all_reduce_volume_bytes(nbytes, k) < 2 * nbytes
+
+    @given(k=st.integers(1, 16), nbytes=st.floats(0.0, 1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_costs_non_negative_and_monotone_in_bytes(self, k, nbytes):
+        small = coll.all_reduce_seconds(net(), nbytes, k)
+        large = coll.all_reduce_seconds(net(), nbytes * 2 + 1, k)
+        assert 0 <= small <= large
+
+    @given(k=st.integers(2, 12), n=st.integers(1, 512), f=st.sampled_from([64, 768, 1024]))
+    @settings(max_examples=50, deadline=None)
+    def test_section_vc_ratio_invariant(self, k, n, f):
+        """2 All-Reduces = 4× one All-Gather, for any (K, N, F)."""
+        chunk = n * f * 4 / k
+        gather_volume = coll.all_gather_volume_bytes([chunk] * k)
+        reduce_volume = 2 * coll.all_reduce_volume_bytes(n * f * 4, k)
+        assert reduce_volume == pytest.approx(4 * gather_volume, rel=1e-9)
+
+    @given(bandwidth=st.floats(50, 2000))
+    @settings(max_examples=30, deadline=None)
+    def test_latency_floor_survives_infinite_bandwidth_scaling(self, bandwidth):
+        """However fast the link, the α rounds remain — the reason TP's
+        chatty pattern cannot be rescued by bandwidth alone."""
+        t = coll.all_reduce_seconds(net(bandwidth=bandwidth), 1e6, 6)
+        rounds = 2 * int(np.ceil(np.log2(6)))
+        assert t >= rounds * 0.004
+
+    @given(
+        chunks=st.lists(st.floats(0.0, 1e6), min_size=2, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_gather_is_sum_of_transfers(self, chunks):
+        expected = sum(net().transfer_seconds(c) for c in chunks if c > 0)
+        assert coll.gather_seconds(net(), chunks) == pytest.approx(expected)
+
+    def test_efficiency_scales_only_the_bandwidth_term(self):
+        full = coll.all_gather_seconds(net(efficiency=1.0), [1e6] * 4)
+        half = coll.all_gather_seconds(net(efficiency=0.5), [1e6] * 4)
+        alpha_term = 3 * 0.004
+        assert (half - alpha_term) == pytest.approx(2 * (full - alpha_term))

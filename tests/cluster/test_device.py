@@ -1,0 +1,37 @@
+"""Tests for the device compute model."""
+
+import pytest
+
+from repro.cluster.device import DeviceSpec, calibrate_matmul_gflops
+
+
+class TestDeviceSpec:
+    def test_compute_seconds_linear_in_flops(self):
+        device = DeviceSpec("d", gflops=2.0)
+        assert device.compute_seconds(2e9) == pytest.approx(1.0)
+        assert device.compute_seconds(4e9) == pytest.approx(2.0)
+
+    def test_zero_flops_is_free(self):
+        device = DeviceSpec("d", gflops=2.0, overhead_seconds=0.01)
+        assert device.compute_seconds(0) == 0.0
+
+    def test_overhead_added_to_nonzero_work(self):
+        device = DeviceSpec("d", gflops=1.0, overhead_seconds=0.5)
+        assert device.compute_seconds(1e9) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceSpec("d", gflops=0.0)
+        with pytest.raises(ValueError):
+            DeviceSpec("d", gflops=1.0, overhead_seconds=-1)
+        with pytest.raises(ValueError):
+            DeviceSpec("d", gflops=1.0).compute_seconds(-5)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DeviceSpec("d", gflops=1.0).gflops = 2.0
+
+
+def test_calibration_returns_plausible_throughput():
+    gflops = calibrate_matmul_gflops(size=128, repeats=2)
+    assert 0.05 < gflops < 10_000

@@ -1,0 +1,80 @@
+"""Tests for time-varying device speed traces."""
+
+import pytest
+
+from repro.cluster.dynamics import SpeedTrace, constant_trace, random_walk_trace, spike_trace
+
+
+class TestSpeedTrace:
+    def test_at_clamps_past_end(self):
+        trace = SpeedTrace(((1.0, 1.0), (0.5, 1.0)))
+        assert trace.at(0) == (1.0, 1.0)
+        assert trace.at(1) == (0.5, 1.0)
+        assert trace.at(99) == (0.5, 1.0)
+
+    def test_effective_gflops(self):
+        trace = SpeedTrace(((0.5, 1.0),))
+        assert trace.effective_gflops(0, [10.0, 20.0]) == [5.0, 20.0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SpeedTrace(())
+        with pytest.raises(ValueError, match="devices"):
+            SpeedTrace(((1.0, 1.0), (1.0,)))
+        with pytest.raises(ValueError, match="positive"):
+            SpeedTrace(((1.0, 0.0),))
+        with pytest.raises(ValueError, match=">= 0"):
+            SpeedTrace(((1.0,),)).at(-1)
+        with pytest.raises(ValueError, match="nominal"):
+            SpeedTrace(((1.0, 1.0),)).effective_gflops(0, [1.0])
+
+    def test_shape_properties(self):
+        trace = constant_trace(3, num_steps=5)
+        assert trace.num_devices == 3
+        assert trace.num_steps == 5
+
+
+class TestConstantTrace:
+    def test_all_ones(self):
+        trace = constant_trace(4)
+        assert trace.at(0) == (1.0, 1.0, 1.0, 1.0)
+
+
+class TestRandomWalkTrace:
+    def test_stays_in_bounds(self):
+        trace = random_walk_trace(3, 200, volatility=0.3, floor=0.4, ceiling=1.0, seed=1)
+        for step in range(200):
+            for factor in trace.at(step):
+                assert 0.4 <= factor <= 1.0
+
+    def test_deterministic_per_seed(self):
+        a = random_walk_trace(2, 10, seed=5)
+        b = random_walk_trace(2, 10, seed=5)
+        assert a.factors == b.factors
+
+    def test_actually_varies(self):
+        trace = random_walk_trace(2, 20, volatility=0.2, seed=0)
+        assert len({trace.at(s) for s in range(20)}) > 1
+
+    def test_bounds_validation(self):
+        with pytest.raises(ValueError):
+            random_walk_trace(2, 5, floor=1.5, ceiling=1.0)
+
+
+class TestSpikeTrace:
+    def test_victim_slows_during_window(self):
+        trace = spike_trace(3, 10, victim=1, spike_start=2, spike_length=3, slowdown=4.0)
+        assert trace.at(1) == (1.0, 1.0, 1.0)
+        assert trace.at(2) == (1.0, 0.25, 1.0)
+        assert trace.at(4) == (1.0, 0.25, 1.0)
+        assert trace.at(5) == (1.0, 1.0, 1.0)
+
+    def test_default_window_extends_to_end(self):
+        trace = spike_trace(2, 5, victim=0, spike_start=3, slowdown=2.0)
+        assert trace.at(4) == (0.5, 1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="victim"):
+            spike_trace(2, 5, victim=2)
+        with pytest.raises(ValueError, match="slowdown"):
+            spike_trace(2, 5, slowdown=0.5)

@@ -1,0 +1,49 @@
+"""Tests for the network link model."""
+
+import pytest
+
+from repro.cluster.network import NetworkSpec
+
+
+class TestNetworkSpec:
+    def test_bytes_per_second_accounts_for_efficiency(self):
+        net = NetworkSpec(bandwidth_mbps=800, efficiency=0.5)
+        assert net.bytes_per_second == pytest.approx(800e6 / 8 * 0.5)
+
+    def test_transfer_includes_latency(self):
+        net = NetworkSpec(bandwidth_mbps=8, latency_seconds=0.01, efficiency=1.0)
+        # 1e6 bytes at 1e6 B/s = 1 s + 10 ms latency
+        assert net.transfer_seconds(1e6) == pytest.approx(1.01)
+
+    def test_zero_bytes_is_free(self):
+        assert NetworkSpec().transfer_seconds(0) == 0.0
+
+    def test_serialization_excludes_latency(self):
+        net = NetworkSpec(bandwidth_mbps=8, latency_seconds=0.01, efficiency=1.0)
+        assert net.serialization_seconds(1e6) == pytest.approx(1.0)
+
+    def test_with_bandwidth_copies(self):
+        base = NetworkSpec(bandwidth_mbps=500, latency_seconds=0.002)
+        fast = base.with_bandwidth(1000)
+        assert fast.bandwidth_mbps == 1000
+        assert fast.latency_seconds == 0.002
+        assert base.bandwidth_mbps == 500
+
+    def test_higher_bandwidth_is_faster(self):
+        slow = NetworkSpec(bandwidth_mbps=200)
+        fast = NetworkSpec(bandwidth_mbps=1000)
+        assert fast.transfer_seconds(1e6) < slow.transfer_seconds(1e6)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkSpec(bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(latency_seconds=-1)
+        with pytest.raises(ValueError):
+            NetworkSpec(efficiency=0)
+        with pytest.raises(ValueError):
+            NetworkSpec(efficiency=1.5)
+        with pytest.raises(ValueError):
+            NetworkSpec().transfer_seconds(-1)
+        with pytest.raises(ValueError):
+            NetworkSpec().serialization_seconds(-1)

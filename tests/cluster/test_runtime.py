@@ -1,0 +1,200 @@
+"""Tests for the thread-backed real execution runtime."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.runtime import RuntimeError_, ThreadedRuntime
+
+
+class TestAllGather:
+    def test_concatenates_rank_chunks_in_order(self):
+        runtime = ThreadedRuntime(4)
+
+        def worker(ctx):
+            chunk = np.full((2, 3), ctx.rank, dtype=np.float32)
+            return ctx.all_gather(chunk)
+
+        results, _ = runtime.run(worker)
+        expected = np.repeat(np.arange(4), 2)[:, None] * np.ones((1, 3))
+        for out in results:
+            np.testing.assert_array_equal(out, expected)
+
+    def test_uneven_chunks(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            return ctx.all_gather(np.ones((ctx.rank + 1, 2)))
+
+        results, _ = runtime.run(worker)
+        assert results[0].shape == (6, 2)
+
+    def test_repeated_collectives_do_not_race(self):
+        """Back-to-back All-Gathers reuse the slot array; the double barrier
+        must prevent a fast rank from clobbering a slow rank's read."""
+        runtime = ThreadedRuntime(4)
+
+        def worker(ctx):
+            out = None
+            for round_index in range(20):
+                chunk = np.full((1, 2), 10 * round_index + ctx.rank, dtype=np.float64)
+                out = ctx.all_gather(chunk)
+            return out
+
+        results, _ = runtime.run(worker)
+        expected = np.array([[190, 190], [191, 191], [192, 192], [193, 193]], dtype=float)
+        for out in results:
+            np.testing.assert_array_equal(out, expected)
+
+    def test_byte_accounting_matches_ring_model(self):
+        runtime = ThreadedRuntime(4)
+        chunk_bytes = 2 * 3 * 8  # float64
+
+        def worker(ctx):
+            return ctx.all_gather(np.zeros((2, 3)))
+
+        _, stats = runtime.run(worker)
+        for s in stats:
+            assert s.bytes_received == pytest.approx(3 * chunk_bytes)
+            assert s.bytes_sent == pytest.approx(3 * chunk_bytes)
+            assert s.collective_calls == 1
+
+
+class TestAllReduce:
+    def test_sums_across_ranks(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            return ctx.all_reduce(np.full((2, 2), ctx.rank + 1.0))
+
+        results, _ = runtime.run(worker)
+        for out in results:
+            np.testing.assert_array_equal(out, np.full((2, 2), 6.0))
+
+    def test_deterministic_summation_order(self):
+        """All ranks must produce bit-identical results (rank-0-first order)."""
+        runtime = ThreadedRuntime(4)
+
+        def worker(ctx):
+            rng = np.random.default_rng(ctx.rank)
+            return ctx.all_reduce(rng.normal(size=(8, 8)).astype(np.float32))
+
+        results, _ = runtime.run(worker)
+        for out in results[1:]:
+            np.testing.assert_array_equal(out, results[0])
+
+    def test_ring_volume_accounting(self):
+        runtime = ThreadedRuntime(4)
+        nbytes = 4 * 4 * 8
+
+        def worker(ctx):
+            return ctx.all_reduce(np.zeros((4, 4)))
+
+        _, stats = runtime.run(worker)
+        for s in stats:
+            assert s.bytes_sent == pytest.approx(2 * 3 / 4 * nbytes)
+
+
+class TestBroadcast:
+    def test_root_value_delivered(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            payload = np.array([42.0]) if ctx.rank == 1 else None
+            return ctx.broadcast(payload, root=1)
+
+        results, _ = runtime.run(worker)
+        for out in results:
+            np.testing.assert_array_equal(out, [42.0])
+
+    def test_root_without_array_fails(self):
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            return ctx.broadcast(None, root=0)
+
+        with pytest.raises(RuntimeError_):
+            runtime.run(worker)
+
+    def test_accounting_split_by_role(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            payload = np.zeros(10) if ctx.rank == 0 else None
+            return ctx.broadcast(payload, root=0)
+
+        _, stats = runtime.run(worker)
+        assert stats[0].bytes_sent == pytest.approx(2 * 80)
+        assert stats[1].bytes_received == pytest.approx(80)
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self):
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            if ctx.rank == 0:
+                ctx.send(1, np.arange(5.0))
+                return None
+            return ctx.recv(0)
+
+        results, stats = runtime.run(worker)
+        np.testing.assert_array_equal(results[1], np.arange(5.0))
+        assert stats[0].p2p_messages == 1 and stats[1].p2p_messages == 1
+
+    def test_messages_preserve_fifo_order(self):
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            if ctx.rank == 0:
+                for i in range(5):
+                    ctx.send(1, np.array([float(i)]))
+                return None
+            return [float(ctx.recv(0)[0]) for _ in range(5)]
+
+        results, _ = runtime.run(worker)
+        assert results[1] == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_invalid_ranks(self):
+        runtime = ThreadedRuntime(2)
+
+        def send_to_self(ctx):
+            ctx.send(ctx.rank, np.zeros(1))
+
+        with pytest.raises(RuntimeError_):
+            runtime.run(send_to_self)
+
+
+class TestErrorHandling:
+    def test_worker_exception_propagates_with_rank(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            if ctx.rank == 2:
+                raise ValueError("boom")
+            ctx.barrier()  # would deadlock if the barrier were not aborted
+            return ctx.rank
+
+        with pytest.raises(RuntimeError_) as excinfo:
+            runtime.run(worker)
+        assert excinfo.value.rank == 2
+        assert isinstance(excinfo.value.cause, ValueError)
+
+    def test_world_size_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(0)
+
+
+class TestSpmd:
+    def test_distinct_functions_per_rank(self):
+        runtime = ThreadedRuntime(2)
+        results, _ = runtime.run_spmd([lambda ctx: "a", lambda ctx: "b"])
+        assert results == ["a", "b"]
+
+    def test_arity_validation(self):
+        with pytest.raises(ValueError):
+            ThreadedRuntime(2).run_spmd([lambda ctx: None])
+
+    def test_world_size_exposed(self):
+        runtime = ThreadedRuntime(3)
+        results, _ = runtime.run(lambda ctx: ctx.world_size)
+        assert results == [3, 3, 3]

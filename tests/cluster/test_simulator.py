@@ -1,0 +1,103 @@
+"""Tests for the cluster cost helper, resources, and the event engine."""
+
+import pytest
+
+from repro.cluster.simulator import ClusterSim, EventEngine, Resource
+from repro.cluster.spec import ClusterSpec
+
+
+@pytest.fixture
+def sim():
+    return ClusterSim(ClusterSpec.homogeneous(4, gflops=1.0, bandwidth_mbps=800))
+
+
+class TestClusterSim:
+    def test_compute_makespan_is_max(self, sim):
+        # 1 GFLOP/s devices: [1e9, 2e9, 5e8, 1e9] FLOPs → 2 s makespan
+        assert sim.compute_makespan([1e9, 2e9, 5e8, 1e9]) == pytest.approx(2.0)
+
+    def test_makespan_validates_arity(self, sim):
+        with pytest.raises(ValueError):
+            sim.compute_makespan([1e9, 1e9])
+
+    def test_heterogeneous_makespan(self):
+        sim = ClusterSim(ClusterSpec.heterogeneous([1.0, 4.0]))
+        # fast device does 4x work in the same time
+        assert sim.compute_makespan([1e9, 4e9]) == pytest.approx(1.0)
+
+    def test_collective_helpers_delegate(self, sim):
+        assert sim.all_gather([1e6] * 4) > 0
+        assert sim.all_reduce(1e6) > 0
+        assert sim.broadcast(1e6) > 0
+        assert sim.gather([1e6] * 4) > 0
+        assert sim.point_to_point(1e6) > 0
+
+    def test_terminal_compute(self, sim):
+        assert sim.terminal_compute(2e9) == pytest.approx(2.0)
+
+
+class TestResource:
+    def test_fifo_reservations(self):
+        resource = Resource("cpu")
+        begin1, end1 = resource.reserve(0.0, 1.0)
+        begin2, end2 = resource.reserve(0.5, 1.0)
+        assert (begin1, end1) == (0.0, 1.0)
+        assert (begin2, end2) == (1.0, 2.0)  # queued behind the first
+
+    def test_idle_gap(self):
+        resource = Resource("cpu")
+        resource.reserve(0.0, 1.0)
+        begin, end = resource.reserve(5.0, 1.0)
+        assert (begin, end) == (5.0, 6.0)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            Resource("cpu").reserve(0.0, -1.0)
+
+
+class TestEventEngine:
+    def test_events_run_in_time_order(self):
+        engine = EventEngine()
+        log = []
+        engine.at(2.0, lambda: log.append("b"))
+        engine.at(1.0, lambda: log.append("a"))
+        engine.at(3.0, lambda: log.append("c"))
+        final = engine.run()
+        assert log == ["a", "b", "c"]
+        assert final == 3.0
+
+    def test_ties_preserve_insertion_order(self):
+        engine = EventEngine()
+        log = []
+        engine.at(1.0, lambda: log.append(1))
+        engine.at(1.0, lambda: log.append(2))
+        engine.run()
+        assert log == [1, 2]
+
+    def test_events_can_schedule_events(self):
+        engine = EventEngine()
+        log = []
+
+        def first():
+            log.append("first")
+            engine.after(0.5, lambda: log.append("second"))
+
+        engine.at(1.0, first)
+        assert engine.run() == pytest.approx(1.5)
+        assert log == ["first", "second"]
+
+    def test_cannot_schedule_in_past(self):
+        engine = EventEngine()
+        engine.at(2.0, lambda: engine.at(1.0, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            engine.run()
+
+    def test_event_budget_guards_cycles(self):
+        engine = EventEngine()
+
+        def forever():
+            engine.after(0.1, forever)
+
+        engine.at(0.0, forever)
+        with pytest.raises(RuntimeError, match="budget"):
+            engine.run(max_events=100)

@@ -1,0 +1,60 @@
+"""Tests for cluster specifications."""
+
+import pytest
+
+from repro.cluster.device import PAPER_EDGE_DEVICE_GFLOPS
+from repro.cluster.spec import ClusterSpec, paper_cluster
+
+
+class TestConstruction:
+    def test_homogeneous(self):
+        cluster = ClusterSpec.homogeneous(4, gflops=5.0, bandwidth_mbps=300)
+        assert cluster.num_devices == 4
+        assert cluster.device_gflops == [5.0] * 4
+        assert cluster.network.bandwidth_mbps == 300
+        assert cluster.terminal_device.name == "terminal"
+
+    def test_heterogeneous(self):
+        cluster = ClusterSpec.heterogeneous([1.0, 2.0, 4.0])
+        assert cluster.device_gflops == [1.0, 2.0, 4.0]
+        assert cluster.terminal_device.gflops == 4.0
+
+    def test_paper_cluster_defaults(self):
+        cluster = paper_cluster()
+        assert cluster.num_devices == 6
+        assert cluster.network.bandwidth_mbps == 500
+        assert cluster.devices[0].gflops == PAPER_EDGE_DEVICE_GFLOPS
+
+    def test_needs_at_least_one_device(self):
+        from repro.cluster.network import NetworkSpec
+
+        with pytest.raises(ValueError):
+            ClusterSpec(devices=(), network=NetworkSpec())
+
+    def test_terminal_defaults_to_first_device(self):
+        from repro.cluster.network import NetworkSpec
+        from repro.cluster.device import DeviceSpec
+
+        cluster = ClusterSpec(devices=(DeviceSpec("a", 3.0),), network=NetworkSpec())
+        assert cluster.terminal_device.name == "a"
+
+
+class TestSweepHelpers:
+    def test_with_bandwidth(self):
+        cluster = paper_cluster(4, 500).with_bandwidth(1000)
+        assert cluster.network.bandwidth_mbps == 1000
+        assert cluster.num_devices == 4
+
+    def test_with_fewer_devices(self):
+        cluster = paper_cluster(6).with_num_devices(3)
+        assert cluster.num_devices == 3
+
+    def test_with_more_devices_replicates_template(self):
+        cluster = paper_cluster(2).with_num_devices(5)
+        assert cluster.num_devices == 5
+        assert all(d.gflops == PAPER_EDGE_DEVICE_GFLOPS for d in cluster.devices)
+        assert len({d.name for d in cluster.devices}) == 5
+
+    def test_with_num_devices_validation(self):
+        with pytest.raises(ValueError):
+            paper_cluster(2).with_num_devices(0)

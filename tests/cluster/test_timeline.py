@@ -1,0 +1,55 @@
+"""Tests for latency breakdowns."""
+
+import pytest
+
+from repro.cluster.timeline import LatencyBreakdown, Phase
+
+
+class TestPhase:
+    def test_valid_kinds(self):
+        for kind in ("compute", "comm", "overhead"):
+            assert Phase("p", kind, 0.1).kind == kind
+
+    def test_invalid_kind(self):
+        with pytest.raises(ValueError):
+            Phase("p", "thinking", 0.1)
+
+    def test_negative_duration(self):
+        with pytest.raises(ValueError):
+            Phase("p", "compute", -0.1)
+
+
+class TestLatencyBreakdown:
+    def make(self):
+        latency = LatencyBreakdown()
+        latency.add("embed", "compute", 0.2)
+        latency.add("sync", "comm", 0.3, layer=0)
+        latency.add("layer", "compute", 0.5, layer=0)
+        return latency
+
+    def test_totals(self):
+        latency = self.make()
+        assert latency.total_seconds == pytest.approx(1.0)
+        assert latency.compute_seconds == pytest.approx(0.7)
+        assert latency.comm_seconds == pytest.approx(0.3)
+
+    def test_comm_fraction(self):
+        assert self.make().comm_fraction == pytest.approx(0.3)
+
+    def test_empty_breakdown(self):
+        latency = LatencyBreakdown()
+        assert latency.total_seconds == 0.0
+        assert latency.comm_fraction == 0.0
+
+    def test_seconds_of_kind_validates(self):
+        with pytest.raises(ValueError):
+            self.make().seconds_of_kind("waiting")
+
+    def test_merged_concatenates(self):
+        merged = self.make().merged(self.make())
+        assert merged.total_seconds == pytest.approx(2.0)
+        assert len(merged.phases) == 6
+
+    def test_summary_mentions_phases(self):
+        text = self.make().summary()
+        assert "sync" in text and "layer=0" in text and "total" in text

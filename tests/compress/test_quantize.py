@@ -1,0 +1,96 @@
+"""Tests for int8 weight quantization."""
+
+import numpy as np
+import pytest
+
+from repro.compress.quantize import (
+    dequantize_tensor,
+    quantize_model_,
+    quantize_tensor,
+)
+from repro.models import BertModel, tiny_config
+
+
+class TestQuantizeTensor:
+    def test_roundtrip_error_bounded_by_half_step(self, rng):
+        w = rng.normal(size=(32, 16)).astype(np.float32)
+        q = quantize_tensor(w)
+        restored = dequantize_tensor(q)
+        step = float(np.max(np.abs(w))) / 127
+        assert float(np.max(np.abs(restored - w))) <= step / 2 + 1e-7
+
+    def test_values_are_int8_in_range(self, rng):
+        q = quantize_tensor(rng.normal(size=(8, 8)))
+        assert q.values.dtype == np.int8
+        assert q.values.min() >= -127 and q.values.max() <= 127
+
+    def test_per_channel_beats_per_tensor_on_skewed_columns(self, rng):
+        w = rng.normal(size=(32, 4)).astype(np.float32)
+        w[:, 0] *= 100.0  # one loud column wrecks a shared scale
+        per_tensor = dequantize_tensor(quantize_tensor(w, per_channel=False))
+        per_channel = dequantize_tensor(quantize_tensor(w, per_channel=True))
+        quiet = np.s_[:, 1:]
+        assert np.abs(per_channel[quiet] - w[quiet]).max() < np.abs(
+            per_tensor[quiet] - w[quiet]
+        ).max()
+
+    def test_zero_tensor_stays_zero(self):
+        q = quantize_tensor(np.zeros((4, 4)))
+        np.testing.assert_array_equal(dequantize_tensor(q), np.zeros((4, 4)))
+
+    def test_payload_is_about_4x_smaller(self, rng):
+        w = rng.normal(size=(256, 256)).astype(np.float32)
+        q = quantize_tensor(w, per_channel=True)
+        assert w.nbytes / q.nbytes > 3.9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            quantize_tensor(np.zeros((0,)))
+
+    def test_symmetry(self, rng):
+        w = rng.normal(size=(16, 16)).astype(np.float32)
+        np.testing.assert_array_equal(
+            quantize_tensor(w).values, -quantize_tensor(-w).values
+        )
+
+
+class TestQuantizeModel:
+    @pytest.fixture
+    def model(self):
+        return BertModel(tiny_config(num_layers=2), num_classes=2,
+                         rng=np.random.default_rng(4))
+
+    def test_report_compression_ratio(self, model):
+        report = quantize_model_(model)
+        assert report.num_tensors > 0
+        assert 2.0 < report.compression_ratio < 4.5
+
+    def test_layer_norms_untouched(self, model):
+        before = {
+            name: param.data.copy()
+            for name, param in model.named_parameters()
+            if "ln" in name or "layer_norm" in name
+        }
+        quantize_model_(model)
+        for name, param in model.named_parameters():
+            if name in before:
+                np.testing.assert_array_equal(param.data, before[name])
+
+    def test_outputs_change_slightly_not_wildly(self, model):
+        ids = model.encode_text("quantization should barely move the logits")
+        before = model(ids)
+        report = quantize_model_(model)
+        after = model(ids)
+        assert not np.array_equal(before, after)
+        assert np.max(np.abs(after - before)) < 0.5
+        assert report.max_abs_error < 0.05
+
+    def test_quantized_model_still_serves_distributed(self, model):
+        """Section VII-A orthogonality: quantized + Voltage still exact."""
+        from repro.cluster.spec import ClusterSpec
+        from repro.systems import VoltageSystem
+
+        quantize_model_(model)
+        ids = model.encode_text("compressed models gain from distribution too")
+        result = VoltageSystem(model, ClusterSpec.homogeneous(3, gflops=5.0)).run(ids)
+        np.testing.assert_allclose(result.output, model(ids), atol=1e-4)

@@ -1,0 +1,60 @@
+"""Shared fixtures for the test-suite.
+
+Everything uses tiny-but-structurally-complete models (the paper's math is
+dimension-generic), seeded RNGs, and float64 inputs where exact-ish
+equality across computation orders is being asserted.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.orders import AttentionParams
+from repro.models.config import tiny_config
+from repro.models.layer import TransformerLayer
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def make_attention_params(
+    rng: np.random.Generator,
+    f: int = 32,
+    num_heads: int = 4,
+    head_dim: int | None = None,
+    bias: bool = True,
+    dtype: str = "float64",
+) -> AttentionParams:
+    """Random attention parameters; float64 by default for exact comparisons."""
+    head_dim = head_dim if head_dim is not None else f // num_heads
+    total = num_heads * head_dim
+    scale = 1.0 / np.sqrt(f)
+
+    def w() -> np.ndarray:
+        return rng.normal(0, scale, size=(f, total)).astype(dtype)
+
+    def b() -> np.ndarray | None:
+        return rng.normal(0, 0.05, size=total).astype(dtype) if bias else None
+
+    return AttentionParams(wq=w(), wk=w(), wv=w(), num_heads=num_heads,
+                           bq=b(), bk=b(), bv=b())
+
+
+@pytest.fixture
+def attention_params(rng) -> AttentionParams:
+    return make_attention_params(rng)
+
+
+@pytest.fixture
+def tiny_layer(rng) -> TransformerLayer:
+    return TransformerLayer(tiny_config(), rng=rng)
+
+
+@pytest.fixture
+def tiny_causal_layer(rng) -> TransformerLayer:
+    return TransformerLayer(
+        tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0), rng=rng
+    )

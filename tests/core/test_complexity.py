@@ -1,0 +1,244 @@
+"""Tests for the Γ(·) FLOP model and Theorems 1–3.
+
+The key verification: Theorem 2's closed-form rule must agree with brute
+force over all 10 computation orders for every valid multi-head setting —
+that is the paper's central analytical claim.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import complexity as cx
+
+
+class TestScoreOrderCosts:
+    """Eqs. (10)–(14), checked term by term against the paper."""
+
+    N, P, F, FH = 20, 5, 16, 4
+
+    def expected(self):
+        n, p, f, fh = self.N, self.P, self.F, self.FH
+        return {
+            cx.ScoreOrder.QP_KT: 2 * p * f * fh + p * f * n,
+            cx.ScoreOrder.Q_K: p * f * fh + n * f * fh + p * n * fh,
+            cx.ScoreOrder.FUSED_QK_LEFT: p * f * f + p * f * n,
+            cx.ScoreOrder.FUSED_QK_RIGHT: n * f * f + p * f * n,
+            cx.ScoreOrder.RIGHT_TO_LEFT: 2 * n * f * fh + p * n * fh,
+        }
+
+    @pytest.mark.parametrize("order", list(cx.ScoreOrder))
+    def test_matches_paper_equation(self, order):
+        cost = cx.score_order_cost(order, self.N, self.P, self.F, self.FH)
+        assert cost.matmul == self.expected()[order]
+
+    def test_linear_term_is_pn(self):
+        cost = cx.score_order_cost(cx.ScoreOrder.Q_K, self.N, self.P, self.F, self.FH)
+        assert cost.linear == self.P * self.N
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(ValueError, match="1 <= P <= N"):
+            cx.score_order_cost(cx.ScoreOrder.Q_K, 10, 11, 16, 4)
+        with pytest.raises(ValueError, match="1 <= P <= N"):
+            cx.score_order_cost(cx.ScoreOrder.Q_K, 10, 0, 16, 4)
+
+
+class TestValueOrderCosts:
+    """Eq. (6)."""
+
+    def test_v_first(self):
+        cost = cx.value_order_cost(cx.ValueOrder.V_FIRST, 20, 5, 16, 4)
+        assert cost.matmul == 5 * 20 * 4 + 20 * 16 * 4
+
+    def test_s_first(self):
+        cost = cx.value_order_cost(cx.ValueOrder.S_FIRST, 20, 5, 16, 4)
+        assert cost.matmul == 5 * 20 * 16 + 5 * 16 * 4
+
+
+class TestTheorem1:
+    def test_eq3_total(self):
+        """Γ(Eq.3) = P·F·F_H + 2·N·F·F_H + 2·P·N·F_H + O(PN)."""
+        n, p, f, fh = 24, 6, 32, 8
+        cost = cx.gamma_eq3(n, p, f, fh)
+        assert cost.matmul == p * f * fh + 2 * n * f * fh + 2 * p * n * fh
+
+    def test_constant_term_survives_any_k(self):
+        """The 2·N·F·F_H term is independent of the partition size."""
+        n, f, fh = 240, 32, 8
+        floor = 2 * n * f * fh
+        for k in (2, 10, 60, 240):
+            assert cx.gamma_eq3(n, n // k, f, fh).matmul > floor
+
+    def test_theorem3_eq8_total(self):
+        """Γ(Eq.8) = 3·P·F·F_H + 2·P·N·F — Theorem 3's linear-in-P cost."""
+        n, p, f, fh = 24, 6, 32, 8
+        cost = cx.gamma_eq8(n, p, f, fh)
+        assert cost.matmul == 3 * p * f * fh + 2 * p * n * f
+
+    def test_eq8_scales_linearly_in_partition(self):
+        n, f, fh = 240, 32, 8
+        one = cx.gamma_eq8(n, 1, f, fh).matmul
+        assert cx.gamma_eq8(n, 10, f, fh).matmul == 10 * one
+
+
+class TestTheorem2:
+    def test_threshold_value(self):
+        assert cx.theorem2_threshold(1024, 64) == pytest.approx(960 / (1024 * 64))
+
+    def test_full_output_prefers_naive(self):
+        """P = N ⇒ 1/P - 1/N = 0 ≤ threshold ⇒ the original order wins."""
+        assert not cx.theorem2_prefers_reordered(100, 100, 64, 16)
+        assert cx.select_order(100, 100, 64, 16) == cx.EQ3
+
+    def test_tiny_partition_prefers_reordered(self):
+        assert cx.theorem2_prefers_reordered(200, 1, 1024, 64)
+        assert cx.select_order(200, 1, 1024, 64) == cx.EQ8
+
+    def test_rule_matches_direct_cost_comparison(self):
+        for n in (50, 100, 200, 300):
+            for p in range(1, n + 1, 7):
+                prefers = cx.theorem2_prefers_reordered(n, p, 1024, 64)
+                c3 = cx.gamma_eq3(n, p, 1024, 64).matmul
+                c8 = cx.gamma_eq8(n, p, 1024, 64).matmul
+                if prefers:
+                    assert c8 < c3, (n, p)
+                else:
+                    assert c3 <= c8, (n, p)
+
+    @given(
+        h=st.integers(2, 16),
+        fh=st.sampled_from([4, 8, 16, 32, 64]),
+        n=st.integers(2, 300),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_selected_order_is_global_optimum(self, h, fh, n, data):
+        """Theorem 2's claim: under F = H·F_H, H ≥ 2, the closed-form pick
+        has minimal matmul cost among ALL 10 parenthesisations."""
+        f = h * fh
+        p = data.draw(st.integers(1, n))
+        chosen = cx.select_order(n, p, f, fh)
+        costs = {o: c.matmul for o, c in cx.enumerate_attention_orders(n, p, f, fh).items()}
+        assert costs[chosen] == min(costs.values())
+
+    def test_optimum_is_always_eq3_or_eq8(self):
+        """The theorem's elimination argument: no other order ever wins strictly."""
+        for h, fh in ((2, 8), (4, 16), (16, 64)):
+            f = h * fh
+            for n in (10, 100, 250):
+                for p in range(1, n + 1, max(1, n // 11)):
+                    costs = cx.enumerate_attention_orders(n, p, f, fh)
+                    best = min(c.matmul for c in costs.values())
+                    winners = {o for o, c in costs.items() if c.matmul == best}
+                    assert winners & {cx.EQ3, cx.EQ8}, (h, fh, n, p)
+
+
+class TestTheorem3:
+    def test_switch_point_formula(self):
+        n, f, fh = 200, 1024, 64
+        k_star = cx.theorem3_min_partitions(n, f, fh)
+        assert k_star == pytest.approx((960 / 65536) * 200 + 1)
+
+    def test_reordered_selected_beyond_switch_point(self):
+        n, f, fh = 200, 1024, 64
+        k_star = cx.theorem3_min_partitions(n, f, fh)
+        k_hi = int(k_star) + 1
+        k_lo = max(2, int(k_star) - 1)
+        assert cx.select_order(n, round(n / k_hi), f, fh) == cx.EQ8
+        assert cx.select_order(n, round(n / k_lo), f, fh) == cx.EQ3
+
+    def test_naive_speedup_saturates(self):
+        """speedup_bound_naive plateaus as K grows (Fig. 6's flat curves)."""
+        n, f, fh = 200, 1024, 64
+        s10 = cx.speedup_bound_naive(n, 10, f, fh)
+        s100 = cx.speedup_bound_naive(n, 100, f, fh)
+        ceiling = cx.gamma_full_attention(n, f, fh).total / (2 * n * f * fh)
+        assert s10 < s100 < ceiling * 1.01
+
+
+class TestMatrixChainCrossCheck:
+    """The generic DP the paper mentions must agree with the closed forms
+    for the orders that are pure matrix chains (no precomputed operands)."""
+
+    def test_two_matrix_chain(self):
+        assert cx.matrix_chain_min_cost([3, 4, 5]) == 3 * 4 * 5
+
+    def test_classic_example(self):
+        # A(10x30) B(30x5) C(5x60) → optimal (AB)C = 1500 + 3000 = 4500
+        assert cx.matrix_chain_min_cost([10, 30, 5, 60]) == 4500
+
+    def test_score_chain_optimum_bounded_by_explicit_orders(self):
+        """DP over x_p(P×F)·W_Q(F×F_H)·W_K^T(F_H×F)·x^T(F×N) can only beat or
+        match the best non-fused explicit order."""
+        n, p, f, fh = 100, 10, 64, 16
+        dp = cx.matrix_chain_min_cost([p, f, fh, f, n])
+        explicit = min(
+            cx.score_order_cost(o, n, p, f, fh).matmul
+            for o in (cx.ScoreOrder.QP_KT, cx.ScoreOrder.Q_K, cx.ScoreOrder.RIGHT_TO_LEFT)
+        )
+        assert dp <= explicit
+        # and for this setting the DP optimum IS Eq. (10)'s cost
+        assert dp == cx.score_order_cost(cx.ScoreOrder.QP_KT, n, p, f, fh).matmul
+
+    def test_rejects_degenerate_chain(self):
+        with pytest.raises(ValueError):
+            cx.matrix_chain_min_cost([5])
+
+
+class TestAggregation:
+    def test_ffn_flops(self):
+        assert cx.ffn_flops(10, 16, 64) == 2 * 10 * 16 * 64
+
+    def test_layer_flops_composition(self):
+        n, p, f, fh, h, ffn = 40, 10, 32, 8, 4, 64
+        order = cx.select_order(n, p, f, fh)
+        expected = (
+            h * cx.attention_order_cost(order, n, p, f, fh).matmul
+            + p * (h * fh) * f
+            + cx.ffn_flops(p, f, ffn)
+        )
+        assert cx.layer_flops(n, p, f, fh, h, ffn) == expected
+
+    def test_model_flops_is_layers_times_layer(self):
+        assert cx.model_flops(40, 10, 6, 32, 8, 4, 64) == 6 * cx.layer_flops(
+            40, 10, 32, 8, 4, 64
+        )
+
+    def test_layer_flops_monotone_in_partition(self):
+        values = [cx.layer_flops(100, p, 64, 16, 4, 128) for p in range(1, 101, 9)]
+        assert values == sorted(values)
+
+
+class TestCommunicationVolume:
+    def test_voltage_formula(self):
+        assert cx.voltage_comm_elements(200, 1024, 4) == 3 * 200 * 1024 / 4
+
+    def test_tp_formula(self):
+        assert cx.tensor_parallel_comm_elements(200, 1024, 4) == 4 * 3 * 200 * 1024 / 4
+
+    def test_ratio_is_exactly_four(self):
+        for k in range(2, 12):
+            ratio = cx.tensor_parallel_comm_elements(100, 64, k) / cx.voltage_comm_elements(
+                100, 64, k
+            )
+            assert ratio == pytest.approx(4.0)
+
+    def test_single_device_no_communication(self):
+        assert cx.voltage_comm_elements(100, 64, 1) == 0
+        assert cx.tensor_parallel_comm_elements(100, 64, 1) == 0
+
+    def test_invalid_device_count(self):
+        with pytest.raises(ValueError):
+            cx.voltage_comm_elements(100, 64, 0)
+        with pytest.raises(ValueError):
+            cx.tensor_parallel_comm_elements(100, 64, 0)
+
+
+class TestOrderCostArithmetic:
+    def test_addition(self):
+        total = cx.OrderCost(10, 2) + cx.OrderCost(5, 1)
+        assert (total.matmul, total.linear, total.total) == (15, 3, 18)
+
+    def test_attention_order_flags(self):
+        assert cx.EQ3.is_naive and not cx.EQ3.is_reordered
+        assert cx.EQ8.is_reordered and not cx.EQ8.is_naive

@@ -1,0 +1,97 @@
+"""Tests for per-device memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.memory import (
+    memory_report,
+    tensor_parallel_device_memory,
+    voltage_device_memory,
+)
+from repro.models import BertModel, tiny_config
+from repro.models.config import bert_large_config
+
+
+class TestWeightAccounting:
+    def test_matches_real_module_bytes(self):
+        """The analytic per-layer weight count must match an instantiated
+        model's actual parameter bytes (layers only, embeddings/head apart)."""
+        config = tiny_config(num_layers=3)
+        model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+        layer_bytes = sum(
+            p.nbytes for layer in model.layers for p in layer.parameters()
+        )
+        analytic = voltage_device_memory(config, n=10, k=1).weight_bytes
+        assert analytic == layer_bytes
+
+    def test_replica_weights_independent_of_k(self):
+        config = bert_large_config()
+        one = voltage_device_memory(config, 202, 1).weight_bytes
+        six = voltage_device_memory(config, 202, 6).weight_bytes
+        assert one == six  # full replica regardless of device count
+
+    def test_tp_shard_shrinks_with_k(self):
+        config = bert_large_config()
+        shards = [tensor_parallel_device_memory(config, 202, k).weight_bytes
+                  for k in (1, 2, 4, 8)]
+        assert shards == sorted(shards, reverse=True)
+        assert shards[3] < shards[0] / 6  # close to 1/8 with replicated norms
+
+    def test_tp_at_k1_close_to_full_model(self):
+        config = bert_large_config()
+        voltage = voltage_device_memory(config, 202, 1).weight_bytes
+        tensor = tensor_parallel_device_memory(config, 202, 1).weight_bytes
+        assert tensor == pytest.approx(voltage, rel=1e-6)
+
+
+class TestActivationAndWorkspace:
+    def test_voltage_workspace_shrinks_with_k(self):
+        config = bert_large_config()
+        w1 = voltage_device_memory(config, 202, 1).workspace_bytes
+        w6 = voltage_device_memory(config, 202, 6).workspace_bytes
+        assert w6 < w1 / 4
+
+    def test_tp_workspace_keeps_full_n_squared(self):
+        """TP's per-head (N, N) score matrix does not shrink with N — only
+        the head count per device drops."""
+        config = bert_large_config()
+        w2 = tensor_parallel_device_memory(config, 202, 2).workspace_bytes
+        w4 = tensor_parallel_device_memory(config, 202, 4).workspace_bytes
+        assert w4 == pytest.approx(w2 / 2, rel=0.01)
+
+    def test_both_hold_full_layer_input(self):
+        config = bert_large_config()
+        n, f = 202, config.hidden_size
+        for memory in (
+            voltage_device_memory(config, n, 4),
+            tensor_parallel_device_memory(config, n, 4),
+        ):
+            assert memory.activation_bytes >= n * f * 4
+
+
+class TestTradeOff:
+    def test_replication_overhead_grows_with_k(self):
+        """The honest cost of Voltage: per-device memory barely drops with K
+        while TP's is ~1/K — the overhead factor grows."""
+        report = memory_report(bert_large_config(), 202, device_counts=(2, 4, 6))
+        overheads = [report[k]["replication_overhead"] for k in (2, 4, 6)]
+        assert overheads == sorted(overheads)
+        assert overheads[-1] > 3.0
+
+    def test_bert_large_fits_the_papers_vms(self):
+        """Sanity: a full BERT-Large replica (~1.2 GB) fits the paper's
+        7.6 GB VMs — which is why replication was a viable choice."""
+        memory = voltage_device_memory(bert_large_config(), 202, 6)
+        assert 1.0e3 < memory.total_mb < 2.0e3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            voltage_device_memory(bert_large_config(), 0, 2)
+        with pytest.raises(ValueError):
+            tensor_parallel_device_memory(bert_large_config(), 10, 0)
+
+    def test_totals_are_component_sums(self):
+        memory = voltage_device_memory(bert_large_config(), 100, 3)
+        assert memory.total_bytes == (
+            memory.weight_bytes + memory.activation_bytes + memory.workspace_bytes
+        )

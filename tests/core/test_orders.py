@@ -1,0 +1,221 @@
+"""Numerical equivalence of every attention computation order.
+
+Section IV's whole premise is that reordering the matrix chain changes cost
+but not output.  These tests verify that premise for all 10 strategies,
+with and without biases, with causal and explicit masks, on random shapes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import (
+    EQ3,
+    EQ8,
+    AttentionOrder,
+    ScoreOrder,
+    ValueOrder,
+)
+from repro.core.orders import (
+    AttentionParams,
+    attention_eq3,
+    attention_eq8,
+    attention_full,
+    attention_partition,
+    merge_heads,
+    split_heads,
+)
+from repro.tensor import functional as F
+from tests.conftest import make_attention_params
+
+ALL_ORDERS = [AttentionOrder(s, v) for s in ScoreOrder for v in ValueOrder]
+
+
+def reference_attention(x, params, mask=None):
+    """Independent oracle built from the functional sdpa primitive."""
+    q = split_heads(F.linear(x, params.wq, params.bq), params.num_heads)
+    k = split_heads(F.linear(x, params.wk, params.bk), params.num_heads)
+    v = split_heads(F.linear(x, params.wv, params.bv), params.num_heads)
+    return merge_heads(F.scaled_dot_product_attention(q, k, v, mask=mask))
+
+
+class TestAllOrdersEquivalent:
+    @pytest.mark.parametrize("order", ALL_ORDERS, ids=str)
+    def test_matches_reference_oracle(self, rng, order):
+        params = make_attention_params(rng)
+        x = rng.normal(size=(14, 32))
+        expected = reference_attention(x, params)[4:9]
+        out = attention_partition(x, 4, 9, params, order)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("order", ALL_ORDERS, ids=str)
+    def test_without_biases(self, rng, order):
+        params = make_attention_params(rng, bias=False)
+        x = rng.normal(size=(12, 32))
+        expected = reference_attention(x, params)[0:5]
+        np.testing.assert_allclose(
+            attention_partition(x, 0, 5, params, order), expected, atol=1e-10
+        )
+
+    @pytest.mark.parametrize("order", ALL_ORDERS, ids=str)
+    def test_causal_masking(self, rng, order):
+        params = make_attention_params(rng)
+        x = rng.normal(size=(10, 32))
+        full_mask = F.causal_mask(10, 10)
+        expected = reference_attention(x, params, mask=full_mask)[3:8]
+        out = attention_partition(x, 3, 8, params, order, causal=True)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    @pytest.mark.parametrize("order", ALL_ORDERS, ids=str)
+    def test_explicit_mask(self, rng, order):
+        params = make_attention_params(rng)
+        x = rng.normal(size=(9, 32))
+        mask = rng.random((4, 9)) > 0.6
+        mask[:, 0] = False  # keep at least one key visible per row
+        expected_scores = None  # oracle path below
+        q = split_heads(F.linear(x[2:6], params.wq, params.bq), params.num_heads)
+        k = split_heads(F.linear(x, params.wk, params.bk), params.num_heads)
+        v = split_heads(F.linear(x, params.wv, params.bv), params.num_heads)
+        expected = merge_heads(F.scaled_dot_product_attention(q, k, v, mask=mask))
+        out = attention_partition(x, 2, 6, params, order, mask=mask)
+        np.testing.assert_allclose(out, expected, atol=1e-10)
+
+    @given(
+        n=st.integers(2, 24),
+        h=st.sampled_from([1, 2, 4]),
+        fh=st.sampled_from([2, 4, 8]),
+        bias=st.booleans(),
+        seed=st.integers(0, 10_000),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_all_orders_agree(self, n, h, fh, bias, seed, data):
+        """For random shapes/partitions, all 10 orders agree bit-closely."""
+        rng = np.random.default_rng(seed)
+        f = h * fh * data.draw(st.sampled_from([1, 2]))  # allow F != H·F_H too
+        params = make_attention_params(rng, f=f, num_heads=h, head_dim=fh, bias=bias)
+        x = rng.normal(size=(n, f))
+        start = data.draw(st.integers(0, n - 1))
+        stop = data.draw(st.integers(start + 1, n))
+        outputs = [attention_partition(x, start, stop, params, o) for o in ALL_ORDERS]
+        for out in outputs[1:]:
+            np.testing.assert_allclose(out, outputs[0], atol=1e-9)
+
+
+class TestPartitionConsistency:
+    def test_partitions_tile_the_full_output(self, rng, attention_params):
+        x = rng.normal(size=(15, 32))
+        full = attention_full(x, attention_params)
+        cuts = [0, 4, 9, 15]
+        tiles = [
+            attention_eq8(x, a, b, attention_params) for a, b in zip(cuts[:-1], cuts[1:])
+        ]
+        np.testing.assert_allclose(np.concatenate(tiles), full, atol=1e-10)
+
+    def test_full_equals_eq3_at_p_equals_n(self, rng, attention_params):
+        x = rng.normal(size=(11, 32))
+        np.testing.assert_allclose(
+            attention_full(x, attention_params),
+            attention_eq3(x, 0, 11, attention_params),
+            atol=1e-12,
+        )
+
+    def test_single_position_partition(self, rng, attention_params):
+        x = rng.normal(size=(8, 32))
+        full = attention_full(x, attention_params)
+        np.testing.assert_allclose(
+            attention_eq8(x, 5, 6, attention_params), full[5:6], atol=1e-10
+        )
+
+    def test_causal_partition_offset_is_respected(self, rng, attention_params):
+        """The partition's causal mask must use ABSOLUTE positions: row 0 of
+        partition [3, 6) may attend to keys 0..3, not just key 0."""
+        x = rng.normal(size=(8, 32))
+        full = attention_full(x, attention_params, causal=True)
+        out = attention_eq8(x, 3, 6, attention_params, causal=True)
+        np.testing.assert_allclose(out, full[3:6], atol=1e-10)
+
+    def test_causal_prefix_property(self, rng, attention_params):
+        """With causal masking, outputs for positions < start are unaffected
+        by later inputs — partitioned decoding stays consistent."""
+        x = rng.normal(size=(10, 32))
+        out_a = attention_eq3(x, 0, 5, attention_params, causal=True)
+        x_perturbed = x.copy()
+        x_perturbed[7:] += 10.0
+        out_b = attention_eq3(x_perturbed, 0, 5, attention_params, causal=True)
+        np.testing.assert_allclose(out_a, out_b, atol=1e-12)
+
+
+class TestValidation:
+    def test_invalid_range_rejected(self, rng, attention_params):
+        x = rng.normal(size=(8, 32))
+        with pytest.raises(ValueError, match="invalid partition"):
+            attention_partition(x, 5, 3, attention_params, EQ3)
+        with pytest.raises(ValueError, match="invalid partition"):
+            attention_partition(x, 0, 9, attention_params, EQ3)
+
+    def test_causal_and_mask_mutually_exclusive(self, rng, attention_params):
+        x = rng.normal(size=(8, 32))
+        with pytest.raises(ValueError, match="not both"):
+            attention_partition(
+                x, 0, 4, attention_params, EQ3, causal=True, mask=np.zeros((4, 8), bool)
+            )
+
+    def test_params_shape_validation(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            AttentionParams(
+                wq=rng.normal(size=(8, 8)),
+                wk=rng.normal(size=(8, 4)),
+                wv=rng.normal(size=(8, 8)),
+                num_heads=2,
+            )
+
+    def test_params_head_divisibility(self, rng):
+        with pytest.raises(ValueError, match="divisible"):
+            AttentionParams(
+                wq=rng.normal(size=(8, 9)),
+                wk=rng.normal(size=(8, 9)),
+                wv=rng.normal(size=(8, 9)),
+                num_heads=2,
+            )
+
+
+class TestHeadUtilities:
+    def test_split_merge_roundtrip(self, rng):
+        x = rng.normal(size=(6, 12))
+        np.testing.assert_array_equal(merge_heads(split_heads(x, 3)), x)
+
+    def test_split_heads_layout(self, rng):
+        x = rng.normal(size=(2, 6))
+        heads = split_heads(x, 2)
+        np.testing.assert_array_equal(heads[0], x[:, :3])
+        np.testing.assert_array_equal(heads[1], x[:, 3:])
+
+    def test_weights_by_head_matches_column_blocks(self, rng, attention_params):
+        by_head = attention_params.weights_by_head("q")
+        fh = attention_params.head_dim
+        for h in range(attention_params.num_heads):
+            np.testing.assert_array_equal(
+                by_head[h], attention_params.wq[:, h * fh : (h + 1) * fh]
+            )
+
+    def test_param_properties(self, attention_params):
+        assert attention_params.feature_dim == 32
+        assert attention_params.head_dim == 8
+
+
+class TestNumericalStability:
+    def test_float32_large_inputs_remain_finite(self, rng):
+        params = make_attention_params(rng, dtype="float32")
+        x = (rng.normal(size=(16, 32)) * 50).astype(np.float32)
+        for order in (EQ3, EQ8):
+            out = attention_partition(x, 0, 8, params, order)
+            assert np.all(np.isfinite(out))
+
+    def test_eq3_eq8_agree_in_float32(self, rng):
+        params = make_attention_params(rng, dtype="float32")
+        x = rng.normal(size=(20, 32)).astype(np.float32)
+        a = attention_eq3(x, 5, 15, params)
+        b = attention_eq8(x, 5, 15, params)
+        np.testing.assert_allclose(a, b, atol=5e-5)

@@ -1,0 +1,157 @@
+"""Tests for partition schemes (Section V-B's ratio-vector conditions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import Partition, PartitionScheme, split_evenly
+
+
+class TestPartition:
+    def test_length_and_contains(self):
+        part = Partition(3, 7)
+        assert part.length == 4
+        assert 3 in part and 6 in part
+        assert 7 not in part and 2 not in part
+
+    def test_empty_partition(self):
+        part = Partition(5, 5)
+        assert part.is_empty and part.length == 0
+
+    def test_positions_range(self):
+        assert list(Partition(2, 5).positions()) == [2, 3, 4]
+
+    def test_overlap_detection(self):
+        assert Partition(0, 5).overlaps(Partition(4, 8))
+        assert not Partition(0, 5).overlaps(Partition(5, 8))
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(-1, 3)
+        with pytest.raises(ValueError):
+            Partition(5, 3)
+
+    def test_ordering(self):
+        assert Partition(0, 3) < Partition(3, 6)
+
+
+class TestSchemeConstruction:
+    def test_even_scheme(self):
+        scheme = PartitionScheme.even(4)
+        assert scheme.ratios == (0.25, 0.25, 0.25, 0.25)
+        assert scheme.num_devices == 4
+
+    def test_single(self):
+        assert PartitionScheme.single().ratios == (1.0,)
+
+    def test_proportional_normalises(self):
+        scheme = PartitionScheme.proportional([1, 2, 1])
+        assert scheme.ratios == (0.25, 0.5, 0.25)
+
+    def test_proportional_allows_zero_weight(self):
+        scheme = PartitionScheme.proportional([0, 1])
+        assert scheme.ratios == (0.0, 1.0)
+
+    def test_rejects_bad_ratio_sums(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            PartitionScheme([0.5, 0.6])
+
+    def test_rejects_out_of_range_ratio(self):
+        with pytest.raises(ValueError, match="outside"):
+            PartitionScheme([1.5, -0.5])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            PartitionScheme([])
+        with pytest.raises(ValueError):
+            PartitionScheme.even(0)
+        with pytest.raises(ValueError, match="non-negative"):
+            PartitionScheme.proportional([-1, 2])
+        with pytest.raises(ValueError, match="positive"):
+            PartitionScheme.proportional([0, 0])
+
+    def test_equality_and_hash(self):
+        assert PartitionScheme.even(3) == PartitionScheme([1 / 3] * 3)
+        assert hash(PartitionScheme.even(3)) == hash(PartitionScheme([1 / 3] * 3))
+
+    def test_iteration_and_len(self):
+        scheme = PartitionScheme.even(5)
+        assert len(scheme) == 5
+        assert sum(scheme) == pytest.approx(1.0)
+
+
+class TestSchemeCoverage:
+    """The paper's two conditions: disjoint partitions covering all positions."""
+
+    def test_even_split_lengths(self):
+        parts = PartitionScheme.even(4).positions(200)
+        assert [p.length for p in parts] == [50, 50, 50, 50]
+
+    def test_uneven_input_still_covers(self):
+        parts = PartitionScheme.even(3).positions(10)
+        assert parts[0].start == 0 and parts[-1].stop == 10
+        assert sum(p.length for p in parts) == 10
+
+    def test_more_devices_than_positions(self):
+        parts = PartitionScheme.even(8).positions(3)
+        assert sum(p.length for p in parts) == 3
+        assert parts[-1].stop == 3
+
+    def test_zero_length_input(self):
+        parts = PartitionScheme.even(3).positions(0)
+        assert all(p.is_empty for p in parts)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            PartitionScheme.even(2).positions(-1)
+
+    @given(
+        k=st.integers(1, 12),
+        n=st.integers(0, 500),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_property_disjoint_ordered_cover(self, k, n, seed):
+        rng = np.random.default_rng(seed)
+        weights = rng.random(k) + 1e-3
+        scheme = PartitionScheme.proportional(weights)
+        parts = scheme.positions(n)
+        assert len(parts) == k
+        assert parts[0].start == 0 and parts[-1].stop == n
+        for left, right in zip(parts[:-1], parts[1:]):
+            assert left.stop == right.start  # contiguous ⇒ disjoint + cover
+
+    def test_partition_for_device(self):
+        scheme = PartitionScheme.even(4)
+        assert scheme.partition_for(2, 100) == Partition(50, 75)
+
+    def test_max_partition_length(self):
+        scheme = PartitionScheme.proportional([3, 1])
+        assert scheme.max_partition_length(100) == 75
+
+    def test_ratios_drive_lengths_proportionally(self):
+        parts = PartitionScheme.proportional([1, 2, 1]).positions(400)
+        assert [p.length for p in parts] == [100, 200, 100]
+
+
+class TestSplitEvenly:
+    def test_exact_division(self):
+        assert split_evenly(12, 4) == [3, 3, 3, 3]
+
+    def test_remainder_goes_to_front(self):
+        assert split_evenly(16, 5) == [4, 3, 3, 3, 3]
+
+    def test_more_parts_than_items(self):
+        assert split_evenly(3, 5) == [1, 1, 1, 0, 0]
+
+    def test_total_preserved_property(self):
+        for total in range(0, 40):
+            for k in range(1, 9):
+                assert sum(split_evenly(total, k)) == total
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_evenly(5, 0)
+        with pytest.raises(ValueError):
+            split_evenly(-1, 2)

@@ -1,0 +1,104 @@
+"""Tests for distributed linear attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.efficient import linear_attention as lin
+from tests.conftest import make_attention_params
+
+
+class TestFeatureMap:
+    def test_always_positive(self, rng):
+        u = rng.normal(scale=5.0, size=(100,))
+        assert np.all(lin.feature_map(u) > 0)
+
+    def test_linear_above_zero(self):
+        np.testing.assert_allclose(lin.feature_map(np.array([2.0])), [3.0])
+
+    def test_exponential_below_zero(self):
+        np.testing.assert_allclose(lin.feature_map(np.array([-1.0])), [np.exp(-1.0)])
+
+    def test_continuous_at_zero(self):
+        eps = 1e-7
+        left = lin.feature_map(np.array([-eps]))[0]
+        right = lin.feature_map(np.array([eps]))[0]
+        assert abs(left - right) < 1e-6
+
+
+class TestStateReduction:
+    def test_state_additivity(self, rng, attention_params):
+        """sum of slice states == whole-sequence state — the All-Reduce law."""
+        x = rng.normal(size=(20, 32))
+        whole = lin.linear_attention_local_state(x, 0, 20, attention_params)
+        left = lin.linear_attention_local_state(x, 0, 7, attention_params)
+        right = lin.linear_attention_local_state(x, 7, 20, attention_params)
+        combined = left + right
+        np.testing.assert_allclose(combined.s, whole.s, atol=1e-10)
+        np.testing.assert_allclose(combined.z, whole.z, atol=1e-10)
+
+    def test_state_shapes(self, rng, attention_params):
+        x = rng.normal(size=(10, 32))
+        state = lin.linear_attention_local_state(x, 0, 10, attention_params)
+        assert state.s.shape == (4, 8, 8)
+        assert state.z.shape == (4, 8)
+
+    def test_empty_slice_is_zero_state(self, rng, attention_params):
+        x = rng.normal(size=(10, 32))
+        state = lin.linear_attention_local_state(x, 4, 4, attention_params)
+        assert np.all(state.s == 0) and np.all(state.z == 0)
+
+    def test_invalid_slice(self, rng, attention_params):
+        x = rng.normal(size=(10, 32))
+        with pytest.raises(ValueError):
+            lin.linear_attention_local_state(x, 5, 11, attention_params)
+
+    def test_state_elements_formula(self):
+        assert lin.state_elements(4, 8) == 4 * (64 + 8)
+
+    def test_nbytes(self, rng, attention_params):
+        x = rng.normal(size=(10, 32))
+        state = lin.linear_attention_local_state(x, 0, 10, attention_params)
+        assert state.nbytes == state.s.nbytes + state.z.nbytes
+
+
+class TestEquivalence:
+    def test_partition_tiles_match_full(self, rng, attention_params):
+        x = rng.normal(size=(18, 32))
+        full = lin.linear_attention_full(x, attention_params)
+        slices = [(0, 5), (5, 12), (12, 18)]
+        tiles = [
+            lin.linear_attention_partition(x, a, b, attention_params, slices=slices)
+            for a, b in slices
+        ]
+        np.testing.assert_allclose(np.concatenate(tiles), full, atol=1e-9)
+
+    def test_reduction_partitioning_is_transparent(self, rng, attention_params):
+        """The output must not depend on HOW the state reduction was split."""
+        x = rng.normal(size=(16, 32))
+        one_slice = lin.linear_attention_partition(x, 3, 9, attention_params)
+        many = lin.linear_attention_partition(
+            x, 3, 9, attention_params, slices=[(0, 2), (2, 11), (11, 16)]
+        )
+        np.testing.assert_allclose(many, one_slice, atol=1e-9)
+
+    def test_attention_is_convex_combination_of_values(self, rng, attention_params):
+        """Rows of the implicit attention matrix are positive and normalised,
+        so outputs lie in the convex hull of (projected) values."""
+        x = rng.normal(size=(12, 32))
+        out = lin.linear_attention_full(x, attention_params)
+        assert np.all(np.isfinite(out))
+
+    @given(n=st.integers(2, 24), seed=st.integers(0, 200), data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_property_any_split_matches(self, n, seed, data):
+        rng = np.random.default_rng(seed)
+        params = make_attention_params(rng)
+        x = rng.normal(size=(n, 32))
+        cut = data.draw(st.integers(0, n))
+        full = lin.linear_attention_full(x, params)
+        split = lin.linear_attention_partition(
+            x, 0, n, params, slices=[(0, cut), (cut, n)]
+        )
+        np.testing.assert_allclose(split, full, atol=1e-9)

@@ -1,0 +1,102 @@
+"""Tests for text and patch embedding layers."""
+
+import numpy as np
+import pytest
+
+from repro.models.embeddings import PatchEmbeddings, TextEmbeddings
+
+
+class TestTextEmbeddings:
+    def make(self, **kwargs):
+        defaults = dict(vocab_size=50, hidden_size=16, max_positions=32, type_vocab_size=2)
+        defaults.update(kwargs)
+        return TextEmbeddings(rng=np.random.default_rng(0), **defaults)
+
+    def test_output_shape(self):
+        emb = self.make()
+        assert emb(np.array([1, 2, 3])).shape == (3, 16)
+
+    def test_position_changes_output(self):
+        """Same token at different positions must embed differently."""
+        emb = self.make()
+        out = emb(np.array([7, 7]))
+        assert not np.allclose(out[0], out[1])
+
+    def test_token_type_contribution(self):
+        emb = self.make()
+        ids = np.array([1, 2])
+        a = emb(ids, token_type_ids=np.array([0, 0]))
+        b = emb(ids, token_type_ids=np.array([1, 1]))
+        assert not np.allclose(a, b)
+
+    def test_default_token_type_is_zero(self):
+        emb = self.make()
+        ids = np.array([1, 2])
+        np.testing.assert_array_equal(emb(ids), emb(ids, token_type_ids=np.array([0, 0])))
+
+    def test_no_type_vocab_disables_segments(self):
+        emb = self.make(type_vocab_size=0)
+        assert emb.token_type is None
+
+    def test_layer_norm_optional(self):
+        with_ln = self.make()
+        without_ln = self.make(use_layer_norm=False)
+        assert with_ln.layer_norm is not None and without_ln.layer_norm is None
+
+    def test_too_long_sequence_rejected(self):
+        emb = self.make(max_positions=4)
+        with pytest.raises(ValueError, match="max_positions"):
+            emb(np.arange(5))
+
+
+class TestPatchEmbeddings:
+    def make(self, image_size=8, patch_size=4, channels=3, hidden=16):
+        return PatchEmbeddings(
+            image_size, patch_size, channels, hidden, rng=np.random.default_rng(0)
+        )
+
+    def test_sequence_length(self):
+        emb = self.make()
+        assert emb.num_patches == 4
+        assert emb.sequence_length == 5  # + CLS
+
+    def test_vit_base_geometry(self):
+        emb = PatchEmbeddings(224, 16, 3, 768, rng=np.random.default_rng(0))
+        assert emb.num_patches == 196
+        assert emb.sequence_length == 197  # the paper's ViT token count
+
+    def test_output_shape(self, rng):
+        emb = self.make()
+        out = emb(rng.normal(size=(3, 8, 8)).astype(np.float32))
+        assert out.shape == (5, 16)
+
+    def test_patchify_extracts_correct_blocks(self):
+        emb = self.make(channels=1, patch_size=4, image_size=8)
+        image = np.arange(64, dtype=np.float32).reshape(1, 8, 8)
+        patches = emb.patchify(image)
+        assert patches.shape == (4, 16)
+        # first patch is the top-left 4x4 block, row-major
+        np.testing.assert_array_equal(patches[0], image[0, :4, :4].ravel())
+        # second patch is top-right
+        np.testing.assert_array_equal(patches[1], image[0, :4, 4:].ravel())
+
+    def test_patchify_roundtrip_preserves_values(self, rng):
+        emb = self.make()
+        image = rng.normal(size=(3, 8, 8)).astype(np.float32)
+        assert emb.patchify(image).sum() == pytest.approx(image.sum(), rel=1e-5)
+
+    def test_wrong_image_shape_rejected(self, rng):
+        emb = self.make()
+        with pytest.raises(ValueError, match="expected image"):
+            emb(rng.normal(size=(3, 8, 9)))
+
+    def test_indivisible_patch_size_rejected(self):
+        with pytest.raises(ValueError, match="divisible"):
+            PatchEmbeddings(10, 4, 3, 16)
+
+    def test_cls_token_prepended(self, rng):
+        emb = self.make()
+        image = rng.normal(size=(3, 8, 8)).astype(np.float32)
+        out = emb(image)
+        pos0 = emb.position(np.array([0]))[0]
+        np.testing.assert_allclose(out[0], emb.cls_token.data[0] + pos0, atol=1e-6)

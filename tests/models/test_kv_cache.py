@@ -1,0 +1,112 @@
+"""Tests for KV-cache incremental decoding."""
+
+import numpy as np
+import pytest
+
+from repro.models import GPT2Model, tiny_config
+from repro.models.cache import KVCache, LayerKVCache, layer_forward_cached
+from repro.models.layer import TransformerLayer
+
+
+def causal_layer(norm_style="pre", seed=9):
+    cfg = tiny_config(norm_style=norm_style, is_causal=True, type_vocab_size=0)
+    return TransformerLayer(cfg, rng=np.random.default_rng(seed))
+
+
+@pytest.fixture
+def gpt2():
+    cfg = tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, num_layers=3)
+    return GPT2Model(cfg, rng=np.random.default_rng(10))
+
+
+class TestLayerKVCache:
+    def test_append_grows(self, rng):
+        cache = LayerKVCache()
+        k = rng.normal(size=(2, 3, 8))
+        v = rng.normal(size=(2, 3, 8))
+        cache.append(k, v)
+        assert cache.length == 3
+        cache.append(k[:, :1], v[:, :1])
+        assert cache.length == 4
+
+    def test_append_returns_full_tensors(self, rng):
+        cache = LayerKVCache()
+        k1, v1 = rng.normal(size=(2, 2, 8)), rng.normal(size=(2, 2, 8))
+        cache.append(k1, v1)
+        k2, v2 = rng.normal(size=(2, 1, 8)), rng.normal(size=(2, 1, 8))
+        k_all, v_all = cache.append(k2, v2)
+        np.testing.assert_array_equal(k_all[:, :2], k1)
+        np.testing.assert_array_equal(k_all[:, 2:], k2)
+
+    def test_geometry_mismatch_rejected(self, rng):
+        cache = LayerKVCache()
+        cache.append(rng.normal(size=(2, 2, 8)), rng.normal(size=(2, 2, 8)))
+        with pytest.raises(ValueError, match="geometry"):
+            cache.append(rng.normal(size=(3, 1, 8)), rng.normal(size=(3, 1, 8)))
+
+    def test_kv_shape_mismatch_rejected(self, rng):
+        with pytest.raises(ValueError, match="disagree"):
+            LayerKVCache().append(rng.normal(size=(2, 2, 8)), rng.normal(size=(2, 3, 8)))
+
+    def test_model_cache_factory(self):
+        cache = KVCache.empty(5)
+        assert len(cache.layers) == 5
+        assert cache.length == 0
+
+
+class TestLayerForwardCached:
+    @pytest.mark.parametrize("norm_style", ["pre", "post"])
+    def test_incremental_equals_full_forward(self, rng, norm_style):
+        """Feeding the sequence in chunks through the cache must reproduce
+        the plain full forward exactly."""
+        layer = causal_layer(norm_style)
+        x = rng.normal(size=(12, 32)).astype(np.float32)
+        full = layer(x)
+        cache = LayerKVCache()
+        chunks = [x[0:4], x[4:5], x[5:9], x[9:12]]
+        outputs = [layer_forward_cached(layer, chunk, cache) for chunk in chunks]
+        np.testing.assert_allclose(np.concatenate(outputs), full, atol=1e-5)
+        assert cache.length == 12
+
+    def test_single_token_steps(self, rng):
+        layer = causal_layer()
+        x = rng.normal(size=(6, 32)).astype(np.float32)
+        full = layer(x)
+        cache = LayerKVCache()
+        outputs = [layer_forward_cached(layer, x[i : i + 1], cache) for i in range(6)]
+        np.testing.assert_allclose(np.concatenate(outputs), full, atol=1e-5)
+
+    def test_non_causal_layer_rejected(self, rng):
+        layer = TransformerLayer(tiny_config(), rng=rng)
+        with pytest.raises(ValueError, match="causal"):
+            layer_forward_cached(layer, np.zeros((1, 32), dtype=np.float32), LayerKVCache())
+
+
+class TestGenerateCached:
+    def test_matches_uncached_generation(self, gpt2):
+        prompt = np.array([3, 17, 42, 7], dtype=np.int64)
+        uncached = gpt2.generate(prompt, max_new_tokens=6)
+        cached = gpt2.generate_cached(prompt, max_new_tokens=6)
+        np.testing.assert_array_equal(cached, uncached)
+
+    def test_zero_new_tokens(self, gpt2):
+        prompt = np.array([1, 2, 3], dtype=np.int64)
+        out = gpt2.generate_cached(prompt, max_new_tokens=0)
+        np.testing.assert_array_equal(out, prompt)
+
+    def test_respects_max_positions(self, gpt2):
+        prompt = np.arange(1, gpt2.config.max_positions - 1, dtype=np.int64)
+        out = gpt2.generate_cached(prompt, max_new_tokens=10)
+        assert len(out) <= gpt2.config.max_positions
+        np.testing.assert_array_equal(
+            out, gpt2.generate(prompt, max_new_tokens=10)
+        )
+
+    def test_several_prompts_agree(self, gpt2):
+        for seed in range(4):
+            rng = np.random.default_rng(seed)
+            prompt = rng.integers(0, gpt2.config.vocab_size, size=5 + seed)
+            np.testing.assert_array_equal(
+                gpt2.generate_cached(prompt, max_new_tokens=4),
+                gpt2.generate(prompt, max_new_tokens=4),
+            )

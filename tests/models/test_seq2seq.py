@@ -1,0 +1,220 @@
+"""Tests for the encoder–decoder model and partitioned cross-attention."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import complexity
+from repro.core.complexity import EQ3, EQ8, AttentionOrder, ScoreOrder, ValueOrder
+from repro.core.orders import cross_attention_partition
+from repro.core.partition import Partition, PartitionScheme
+from repro.models.config import tiny_config
+from repro.models.seq2seq import (
+    DecoderLayer,
+    PartitionedDecoderLayerExecutor,
+    Seq2SeqTransformer,
+)
+from tests.conftest import make_attention_params
+
+ALL_ORDERS = [AttentionOrder(s, v) for s in ScoreOrder for v in ValueOrder]
+
+
+def small_seq2seq(seed=5):
+    config = tiny_config(num_layers=2, vocab_size=60).scaled(activation="relu")
+    return Seq2SeqTransformer(config, rng=np.random.default_rng(seed))
+
+
+class TestCrossAttentionOrders:
+    @pytest.mark.parametrize("order", ALL_ORDERS, ids=str)
+    def test_all_orders_agree(self, rng, order):
+        params = make_attention_params(rng)
+        queries = rng.normal(size=(10, 32))
+        memory = rng.normal(size=(7, 32))
+        reference = cross_attention_partition(queries, memory, 2, 8, params, EQ3)
+        out = cross_attention_partition(queries, memory, 2, 8, params, order)
+        np.testing.assert_allclose(out, reference, atol=1e-10)
+
+    def test_partition_longer_than_memory(self, rng):
+        """The case self-attention cannot produce: P > N_mem."""
+        params = make_attention_params(rng)
+        queries = rng.normal(size=(20, 32))
+        memory = rng.normal(size=(4, 32))
+        for order in (EQ3, EQ8):
+            out = cross_attention_partition(queries, memory, 0, 20, params, order)
+            assert out.shape == (20, 32)
+        a = cross_attention_partition(queries, memory, 0, 20, params, EQ3)
+        b = cross_attention_partition(queries, memory, 0, 20, params, EQ8)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_partition_tiles_cover_full(self, rng):
+        params = make_attention_params(rng)
+        queries = rng.normal(size=(12, 32))
+        memory = rng.normal(size=(9, 32))
+        full = cross_attention_partition(queries, memory, 0, 12, params, EQ3)
+        tiles = [
+            cross_attention_partition(queries, memory, a, b, params, EQ8)
+            for a, b in [(0, 4), (4, 9), (9, 12)]
+        ]
+        np.testing.assert_allclose(np.concatenate(tiles), full, atol=1e-10)
+
+    def test_invalid_range(self, rng):
+        params = make_attention_params(rng)
+        with pytest.raises(ValueError, match="invalid partition"):
+            cross_attention_partition(
+                rng.normal(size=(5, 32)), rng.normal(size=(5, 32)), 3, 7, params, EQ3
+            )
+
+
+class TestSelectCrossOrder:
+    def test_is_global_argmin(self):
+        for n_mem in (4, 50, 200):
+            for p in (1, 10, 100, 400):
+                order = complexity.select_cross_order(n_mem, p, 64, 16)
+                best = complexity.cross_attention_order_cost(order, n_mem, p, 64, 16).matmul
+                for other in ALL_ORDERS:
+                    assert best <= complexity.cross_attention_order_cost(
+                        other, n_mem, p, 64, 16
+                    ).matmul
+
+    def test_allows_p_greater_than_n(self):
+        assert complexity.select_cross_order(4, 100, 64, 16) in ALL_ORDERS
+
+    def test_self_attention_cost_still_validates(self):
+        with pytest.raises(ValueError):
+            complexity.attention_order_cost(EQ3, 4, 100, 64, 16)
+
+    @given(
+        n_mem=st.integers(1, 300),
+        p=st.integers(1, 300),
+        h=st.sampled_from([2, 4, 8]),
+        fh=st.sampled_from([8, 16, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_argmin(self, n_mem, p, h, fh):
+        f = h * fh
+        order = complexity.select_cross_order(n_mem, p, f, fh)
+        costs = [
+            complexity.cross_attention_order_cost(o, n_mem, p, f, fh).matmul
+            for o in ALL_ORDERS
+        ]
+        chosen = complexity.cross_attention_order_cost(order, n_mem, p, f, fh).matmul
+        assert chosen == min(costs)
+
+
+class TestDecoderLayer:
+    @pytest.fixture
+    def layer(self):
+        return DecoderLayer(tiny_config(num_layers=1), rng=np.random.default_rng(8))
+
+    def test_forward_shape(self, rng, layer):
+        x = rng.normal(size=(9, 32)).astype(np.float32)
+        memory = rng.normal(size=(6, 32)).astype(np.float32)
+        assert layer(x, memory).shape == (9, 32)
+
+    def test_partition_equals_full_slice(self, rng, layer):
+        executor = PartitionedDecoderLayerExecutor(layer)
+        x = rng.normal(size=(14, 32)).astype(np.float32)
+        memory = rng.normal(size=(6, 32)).astype(np.float32)
+        full = layer(x, memory)
+        for start, stop in [(0, 14), (0, 5), (5, 11), (13, 14)]:
+            out = executor.forward_partition(x, memory, Partition(start, stop))
+            np.testing.assert_allclose(out, full[start:stop], atol=1e-4)
+
+    def test_partitions_reassemble(self, rng, layer):
+        executor = PartitionedDecoderLayerExecutor(layer)
+        x = rng.normal(size=(15, 32)).astype(np.float32)
+        memory = rng.normal(size=(20, 32)).astype(np.float32)
+        parts = PartitionScheme.even(4).positions(15)
+        tiles = [executor.forward_partition(x, memory, p) for p in parts]
+        np.testing.assert_allclose(np.concatenate(tiles), layer(x, memory), atol=1e-4)
+
+    def test_causality_of_self_attention(self, rng, layer):
+        """Decoder outputs for early positions ignore later target tokens."""
+        memory = rng.normal(size=(5, 32)).astype(np.float32)
+        x = rng.normal(size=(8, 32)).astype(np.float32)
+        out_a = layer(x, memory)[:4]
+        x2 = x.copy()
+        x2[6:] += 5.0
+        out_b = layer(x2, memory)[:4]
+        np.testing.assert_allclose(out_a, out_b, atol=1e-6)
+
+    def test_empty_partition(self, rng, layer):
+        executor = PartitionedDecoderLayerExecutor(layer)
+        x = rng.normal(size=(8, 32)).astype(np.float32)
+        memory = rng.normal(size=(5, 32)).astype(np.float32)
+        assert executor.forward_partition(x, memory, Partition(2, 2)).shape == (0, 32)
+
+    def test_partition_flops_positive_and_monotone(self, layer):
+        executor = PartitionedDecoderLayerExecutor(layer)
+        values = [executor.partition_flops(20, 10, p) for p in (1, 5, 10, 20)]
+        assert values == sorted(values)
+        assert values[0] > 0
+
+    def test_out_of_range_partition(self, rng, layer):
+        executor = PartitionedDecoderLayerExecutor(layer)
+        with pytest.raises(ValueError, match="out of range"):
+            executor.forward_partition(
+                rng.normal(size=(5, 32)), rng.normal(size=(5, 32)), Partition(3, 7)
+            )
+
+
+class TestSeq2SeqModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return small_seq2seq()
+
+    def test_forward_logits_shape(self, model):
+        src = np.array([3, 4, 5, 6])
+        tgt = np.array([1, 7, 8])
+        logits = model((src, tgt))
+        assert logits.shape == (model.config.vocab_size,)
+
+    def test_greedy_translate_terminates(self, model):
+        out = model.greedy_translate(np.array([3, 4, 5]), max_length=6)
+        assert 1 <= len(out) <= 6
+        assert out[0] == 1  # BOS
+
+    def test_translation_deterministic(self, model):
+        src = np.array([9, 10, 11])
+        np.testing.assert_array_equal(
+            model.greedy_translate(src), model.greedy_translate(src)
+        )
+
+    def test_decoder_attends_to_memory(self, model):
+        """Changing the source must change the decoder's prediction path."""
+        tgt = np.array([1, 5])
+        a = model((np.array([3, 4, 5]), tgt))
+        b = model((np.array([30, 40, 50]), tgt))
+        assert not np.allclose(a, b)
+
+    def test_pre_ln_config_rejected(self):
+        with pytest.raises(ValueError, match="post-LN"):
+            Seq2SeqTransformer(tiny_config(norm_style="pre", is_causal=True,
+                                           type_vocab_size=0))
+
+    def test_distributed_decode_matches_local(self, model):
+        """The full partitioned pipeline: encoder layers via Algorithm 1,
+        decoder layers via the decoder executor, on 3 'devices'."""
+        from repro.core.layer import PartitionedLayerExecutor
+
+        src = np.array([3, 4, 5, 6, 7])
+        tgt = np.array([1, 9, 10, 11])
+        scheme = PartitionScheme.even(3)
+
+        memory = model.src_embeddings(src)
+        for layer in model.encoder:
+            executor = PartitionedLayerExecutor(layer)
+            parts = scheme.positions(memory.shape[0])
+            memory = np.concatenate(
+                [executor.forward_partition(memory, p) for p in parts]
+            )
+        x = model.tgt_embeddings(tgt)
+        for layer in model.decoder:
+            executor = PartitionedDecoderLayerExecutor(layer)
+            parts = scheme.positions(x.shape[0])
+            x = np.concatenate(
+                [executor.forward_partition(x, memory, p) for p in parts if p.length]
+            )
+        distributed_logits = model.generator(x[-1])
+        np.testing.assert_allclose(distributed_logits, model((src, tgt)), atol=1e-3)

@@ -1,0 +1,84 @@
+"""Tests for the hash-based tokenizer."""
+
+import numpy as np
+import pytest
+
+from repro.models.tokenizer import SimpleTokenizer
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        tok = SimpleTokenizer(100)
+        assert tok.tokenize("Hello, World!") == ["hello", ",", "world", "!"]
+
+    def test_keeps_apostrophes_and_digits(self):
+        tok = SimpleTokenizer(100)
+        assert tok.tokenize("it's 42") == ["it's", "42"]
+
+
+class TestEncode:
+    def test_special_token_wrapping(self):
+        tok = SimpleTokenizer(100)
+        ids = tok.encode("hello world")
+        assert ids[0] == SimpleTokenizer.CLS and ids[-1] == SimpleTokenizer.SEP
+        assert len(ids) == 4
+
+    def test_no_special_tokens_mode(self):
+        tok = SimpleTokenizer(100, add_special_tokens=False)
+        assert len(tok.encode("hello world")) == 2
+
+    def test_deterministic(self):
+        tok = SimpleTokenizer(1000)
+        np.testing.assert_array_equal(tok.encode("same text"), tok.encode("same text"))
+
+    def test_same_word_same_id(self):
+        tok = SimpleTokenizer(1000, add_special_tokens=False)
+        ids = tok.encode("echo echo")
+        assert ids[0] == ids[1]
+
+    def test_ids_in_range(self):
+        tok = SimpleTokenizer(50)
+        ids = tok.encode("a b c d e f g h i j")
+        assert ids.min() >= 0 and ids.max() < 50
+
+    def test_hash_avoids_special_range(self):
+        tok = SimpleTokenizer(50, add_special_tokens=False)
+        ids = tok.encode("many different words to hash around here")
+        assert ids.min() >= SimpleTokenizer.NUM_SPECIAL
+
+    def test_truncation_preserves_sep(self):
+        tok = SimpleTokenizer(100)
+        ids = tok.encode("one two three four five six", max_length=4)
+        assert len(ids) == 4
+        assert ids[-1] == SimpleTokenizer.SEP
+
+    def test_truncation_without_specials(self):
+        tok = SimpleTokenizer(100, add_special_tokens=False)
+        assert len(tok.encode("one two three four", max_length=2)) == 2
+
+    def test_max_length_too_small(self):
+        tok = SimpleTokenizer(100)
+        with pytest.raises(ValueError):
+            tok.encode("hello", max_length=1)
+
+    def test_seed_changes_mapping(self):
+        a = SimpleTokenizer(10_000, add_special_tokens=False, seed=1)
+        b = SimpleTokenizer(10_000, add_special_tokens=False, seed=2)
+        assert not np.array_equal(a.encode("hello world"), b.encode("hello world"))
+
+    def test_vocab_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            SimpleTokenizer(5)
+
+
+class TestRandomWords:
+    def test_word_count(self):
+        tok = SimpleTokenizer(100)
+        text = tok.random_words(200, rng=np.random.default_rng(0))
+        assert len(text.split()) == 200
+
+    def test_paper_workload_token_count(self):
+        """200 random words + CLS/SEP → exactly 202 tokens (Fig. 4's N)."""
+        tok = SimpleTokenizer(30522)
+        text = tok.random_words(200, rng=np.random.default_rng(0))
+        assert len(tok.encode(text)) == 202

@@ -1,0 +1,77 @@
+"""Tests for arrival process generators."""
+
+import numpy as np
+import pytest
+
+from repro.serving.arrivals import Request, bursty_arrivals, poisson_arrivals, uniform_arrivals
+
+
+class TestRequest:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Request(arrival=-1.0, n=10)
+        with pytest.raises(ValueError):
+            Request(arrival=0.0, n=0)
+
+    def test_ordering_by_arrival(self):
+        assert Request(1.0, 10) < Request(2.0, 5)
+
+
+class TestUniform:
+    def test_spacing(self):
+        reqs = uniform_arrivals(4, interval=0.5, n_tokens=100)
+        assert [r.arrival for r in reqs] == [0.0, 0.5, 1.0, 1.5]
+        assert all(r.n == 100 for r in reqs)
+
+    def test_length_range(self):
+        reqs = uniform_arrivals(50, interval=0.1, n_tokens=(10, 20), seed=1)
+        lengths = {r.n for r in reqs}
+        assert min(lengths) >= 10 and max(lengths) <= 20
+        assert len(lengths) > 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            uniform_arrivals(0, 1.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(5, -1.0)
+        with pytest.raises(ValueError):
+            uniform_arrivals(5, 1.0, n_tokens=(5, 2))
+
+
+class TestPoisson:
+    def test_mean_rate_approximately_respected(self):
+        reqs = poisson_arrivals(2000, rate=10.0, seed=0)
+        duration = reqs[-1].arrival - reqs[0].arrival
+        assert 2000 / duration == pytest.approx(10.0, rel=0.1)
+
+    def test_monotone_arrivals(self):
+        reqs = poisson_arrivals(100, rate=5.0, seed=2)
+        arrivals = [r.arrival for r in reqs]
+        assert arrivals == sorted(arrivals)
+
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(10, rate=1.0, seed=7)
+        b = poisson_arrivals(10, rate=1.0, seed=7)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(10, rate=0.0)
+
+
+class TestBursty:
+    def test_burst_structure(self):
+        reqs = bursty_arrivals(bursts=2, burst_size=3, burst_gap=10.0)
+        assert [r.arrival for r in reqs] == [0.0, 0.0, 0.0, 10.0, 10.0, 10.0]
+
+    def test_within_gap(self):
+        reqs = bursty_arrivals(bursts=1, burst_size=3, burst_gap=10.0, within_gap=0.1)
+        assert [r.arrival for r in reqs] == pytest.approx([0.0, 0.1, 0.2])
+
+    def test_ids_unique(self):
+        reqs = bursty_arrivals(bursts=3, burst_size=4, burst_gap=1.0)
+        assert len({r.id for r in reqs}) == 12
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bursty_arrivals(0, 1, 1.0)

@@ -1,0 +1,148 @@
+"""Tests for the serving simulators and their queueing behaviour."""
+
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.models.config import tiny_config
+from repro.serving.arrivals import Request, poisson_arrivals, uniform_arrivals
+from repro.serving.server import (
+    MonolithicServer,
+    PerDeviceServer,
+    PipelineServer,
+    service_models,
+)
+from repro.serving.stats import ServedRequest, ServingStats
+
+
+def constant_service(seconds: float):
+    return lambda n: seconds
+
+
+class TestServedRequestAndStats:
+    def test_lifecycle_properties(self):
+        served = ServedRequest(Request(1.0, 10), start=1.5, finish=2.5)
+        assert served.waiting == pytest.approx(0.5)
+        assert served.service == pytest.approx(1.0)
+        assert served.latency == pytest.approx(1.5)
+
+    def test_inconsistent_lifecycle_rejected(self):
+        with pytest.raises(ValueError):
+            ServedRequest(Request(1.0, 10), start=0.5, finish=2.0)
+
+    def test_stats_percentiles(self):
+        served = [
+            ServedRequest(Request(float(i), 10), start=float(i), finish=float(i) + 1.0)
+            for i in range(100)
+        ]
+        stats = ServingStats.from_served(served)
+        assert stats.mean_latency == pytest.approx(1.0)
+        assert stats.p99_latency == pytest.approx(1.0)
+        assert stats.count == 100
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ServingStats.from_served([])
+
+    def test_summary_readable(self):
+        served = [ServedRequest(Request(0.0, 10), start=0.0, finish=0.5)]
+        stats = ServingStats.from_served(
+            served + [ServedRequest(Request(1.0, 10), start=1.0, finish=1.5)]
+        )
+        assert "p95" in stats.summary()
+
+
+class TestMonolithicServer:
+    def test_idle_server_serves_immediately(self):
+        server = MonolithicServer(constant_service(1.0))
+        served = server.serve(uniform_arrivals(3, interval=5.0, n_tokens=10))
+        assert all(s.waiting == 0.0 for s in served)
+
+    def test_saturated_queue_builds(self):
+        server = MonolithicServer(constant_service(1.0))
+        served = server.serve(uniform_arrivals(4, interval=0.0, n_tokens=10))
+        assert [s.waiting for s in served] == pytest.approx([0.0, 1.0, 2.0, 3.0])
+
+    def test_throughput_capped_at_inverse_service(self):
+        server = MonolithicServer(constant_service(0.5))
+        stats = server.run(uniform_arrivals(50, interval=0.0, n_tokens=10))
+        assert stats.throughput_rps == pytest.approx(2.0, rel=0.05)
+
+    def test_out_of_order_input_sorted(self):
+        server = MonolithicServer(constant_service(0.1))
+        reqs = [Request(2.0, 10, id=0), Request(0.0, 10, id=1)]
+        served = server.serve(reqs)
+        assert served[0].request.id == 1
+
+
+class TestPerDeviceServer:
+    def test_parallel_dispatch(self):
+        server = PerDeviceServer(constant_service(1.0), num_devices=3)
+        served = server.serve(uniform_arrivals(3, interval=0.0, n_tokens=10))
+        assert all(s.waiting == 0.0 for s in served)  # one per device
+
+    def test_throughput_scales_with_devices(self):
+        requests = uniform_arrivals(60, interval=0.0, n_tokens=10)
+        one = PerDeviceServer(constant_service(0.5), 1).run(requests)
+        four = PerDeviceServer(constant_service(0.5), 4).run(requests)
+        assert four.throughput_rps / one.throughput_rps == pytest.approx(4.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PerDeviceServer(constant_service(1.0), 0)
+
+
+class TestPipelineServer:
+    def make(self, stage_seconds=(0.2, 0.2, 0.2), hop=0.01):
+        return PipelineServer(lambda n: list(stage_seconds), lambda n: hop)
+
+    def test_single_request_latency_is_sum(self):
+        server = self.make()
+        served = server.serve([Request(0.0, 10)])
+        assert served[0].latency == pytest.approx(0.6 + 4 * 0.01)
+
+    def test_pipelining_overlaps(self):
+        """Back-to-back requests finish ~one stage-time apart, not one
+        whole-pipeline-time apart."""
+        server = self.make()
+        served = server.serve(uniform_arrivals(5, interval=0.0, n_tokens=10))
+        finishes = [s.finish for s in served]
+        gaps = [b - a for a, b in zip(finishes, finishes[1:])]
+        for gap in gaps:
+            assert gap == pytest.approx(0.2, abs=0.05)
+
+    def test_latency_grows_under_saturation(self):
+        server = self.make()
+        served = server.serve(uniform_arrivals(10, interval=0.0, n_tokens=10))
+        assert served[-1].latency > served[0].latency
+
+
+class TestServiceModels:
+    @pytest.fixture(scope="class")
+    def servers(self):
+        config = tiny_config(num_layers=4)
+        # slow devices: the compute-bound regime of the paper's edge testbed
+        cluster = ClusterSpec.homogeneous(4, gflops=0.01, bandwidth_mbps=500)
+        return service_models(config, cluster)
+
+    def test_all_strategies_present(self, servers):
+        assert set(servers) == {
+            "voltage", "tensor-parallel", "single-device", "data-parallel", "pipeline",
+        }
+
+    def test_sporadic_traffic_favours_voltage(self, servers):
+        """The paper's motivating scenario: sparse Poisson arrivals — lowest
+        latency wins, and that is Voltage."""
+        requests = poisson_arrivals(30, rate=0.5, n_tokens=64, seed=4)
+        stats = {name: server.run(requests) for name, server in servers.items()}
+        assert stats["voltage"].mean_latency < stats["single-device"].mean_latency
+        assert stats["voltage"].mean_latency < stats["tensor-parallel"].mean_latency
+        assert stats["voltage"].mean_latency < stats["pipeline"].mean_latency
+        assert stats["voltage"].mean_latency < stats["data-parallel"].mean_latency
+
+    def test_saturated_traffic_favours_parallel_serving(self, servers):
+        """Flood the cluster: data parallelism now sustains more throughput
+        than the barrier-style Voltage — the trade-off the paper concedes."""
+        requests = uniform_arrivals(40, interval=0.0, n_tokens=64)
+        voltage = servers["voltage"].run(requests)
+        data_parallel = servers["data-parallel"].run(requests)
+        assert data_parallel.throughput_rps > voltage.throughput_rps

@@ -1,0 +1,33 @@
+"""Shared fixtures for system-level tests: small models + clusters."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.models import BertModel, GPT2Model, tiny_config
+
+
+@pytest.fixture
+def bert():
+    return BertModel(tiny_config(num_layers=3), num_classes=3, rng=np.random.default_rng(11))
+
+
+@pytest.fixture
+def gpt2():
+    cfg = tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, num_layers=2)
+    return GPT2Model(cfg, rng=np.random.default_rng(13))
+
+
+@pytest.fixture
+def cluster4():
+    return ClusterSpec.homogeneous(4, gflops=5.0, bandwidth_mbps=500)
+
+
+@pytest.fixture
+def cluster1():
+    return ClusterSpec.homogeneous(1, gflops=5.0, bandwidth_mbps=500)
+
+
+@pytest.fixture
+def token_ids(bert):
+    return bert.encode_text("the quick brown fox jumps over the lazy dog " * 3)

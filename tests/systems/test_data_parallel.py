@@ -1,0 +1,70 @@
+"""Tests for the data-parallel baseline."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.systems import DataParallelSystem, SingleDeviceSystem
+
+
+class TestCorrectness:
+    def test_single_request_output(self, bert, cluster4, token_ids):
+        result = DataParallelSystem(bert, cluster4).run(token_ids)
+        np.testing.assert_allclose(result.output, bert(token_ids), atol=1e-5)
+
+    def test_batch_outputs_match_per_request(self, bert, cluster4):
+        system = DataParallelSystem(bert, cluster4)
+        texts = [f"request number {i} with a few words" for i in range(5)]
+        batch = system.run_batch([bert.encode_text(t) for t in texts])
+        assert len(batch.outputs) == 5
+        for text, output in zip(texts, batch.outputs):
+            np.testing.assert_allclose(output, bert(bert.encode_text(text)), atol=1e-5)
+
+    def test_empty_batch_rejected(self, bert, cluster4):
+        with pytest.raises(ValueError):
+            DataParallelSystem(bert, cluster4).run_batch([])
+
+
+class TestSectionVCArgument:
+    """The paper's claim: data parallelism cannot help batch-size-1 latency."""
+
+    def test_batch_one_no_speedup_from_devices(self, bert, token_ids):
+        one = DataParallelSystem(bert, ClusterSpec.homogeneous(1, gflops=5.0)).run(token_ids)
+        four = DataParallelSystem(bert, ClusterSpec.homogeneous(4, gflops=5.0)).run(token_ids)
+        assert four.latency.compute_seconds == pytest.approx(
+            one.latency.compute_seconds, rel=1e-9
+        )
+
+    def test_batch_one_compute_equals_single_device(self, bert, cluster4, token_ids):
+        single = SingleDeviceSystem(
+            bert, ClusterSpec.homogeneous(1, gflops=5.0)
+        ).run(token_ids)
+        data_parallel = DataParallelSystem(bert, cluster4).run(token_ids)
+        assert data_parallel.latency.compute_seconds == pytest.approx(
+            single.latency.compute_seconds, rel=0.01
+        )
+
+    def test_large_batch_does_speed_up(self, bert, cluster4):
+        """Data parallelism's actual value: K× throughput on K× batch."""
+        system1 = DataParallelSystem(bert, cluster4.with_num_devices(1))
+        system4 = DataParallelSystem(bert, cluster4)
+        batch = [bert.encode_text(f"text {i}") for i in range(8)]
+        t1 = system1.run_batch(batch).latency.compute_seconds
+        t4 = system4.run_batch(batch).latency.compute_seconds
+        assert t4 < t1 / 3  # near-4x with 8 requests on 4 devices
+
+    def test_requests_per_device_balanced(self, bert, cluster4):
+        system = DataParallelSystem(bert, cluster4)
+        batch = [bert.encode_text(f"text {i}") for i in range(6)]
+        result = system.run_batch(batch)
+        assert result.meta["requests_per_device"] == [2, 2, 1, 1]
+
+    def test_straggler_gates_batch(self, bert):
+        """Uneven request lengths: the device with the longest queue gates."""
+        cluster = ClusterSpec.homogeneous(2, gflops=5.0)
+        system = DataParallelSystem(bert, cluster)
+        short = bert.encode_text("tiny")
+        long = bert.encode_text("a much longer request " * 3)
+        balanced = system.run_batch([long, short]).latency.compute_seconds
+        skewed = system.run_batch([long, long]).latency.compute_seconds
+        assert skewed >= balanced

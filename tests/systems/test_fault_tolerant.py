@@ -1,0 +1,106 @@
+"""Tests for fault-tolerant Voltage (failure injection)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.spec import ClusterSpec
+from repro.systems import VoltageSystem
+from repro.systems.fault_tolerant import (
+    AllDevicesFailedError,
+    FailureSchedule,
+    FaultTolerantVoltageSystem,
+)
+
+
+class TestFailureSchedule:
+    def test_dead_before(self):
+        schedule = FailureSchedule({0: 2, 3: 5})
+        assert schedule.dead_before(2) == set()
+        assert schedule.dead_before(3) == {0}
+        assert schedule.dead_before(6) == {0, 3}
+
+    def test_dying_at(self):
+        schedule = FailureSchedule({0: 2, 1: 2, 3: 5})
+        assert schedule.dying_at(2) == {0, 1}
+        assert schedule.dying_at(5) == {3}
+        assert schedule.dying_at(0) == set()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FailureSchedule({-1: 0})
+        with pytest.raises(ValueError):
+            FailureSchedule({0: -2})
+
+
+class TestOutputCorrectness:
+    """The headline property: failures never change the answer."""
+
+    def test_no_failures_matches_plain_voltage(self, bert, cluster4, token_ids):
+        plain = VoltageSystem(bert, cluster4).run(token_ids)
+        fault_tolerant = FaultTolerantVoltageSystem(bert, cluster4).run(token_ids)
+        np.testing.assert_allclose(fault_tolerant.output, plain.output, atol=1e-6)
+
+    def test_one_failure_mid_inference(self, bert, cluster4, token_ids):
+        system = FaultTolerantVoltageSystem(bert, cluster4, failures={1: 1})
+        result = system.run(token_ids)
+        np.testing.assert_allclose(result.output, bert(token_ids), atol=1e-4)
+        assert result.meta["survivors"] == [0, 2, 3]
+
+    def test_cascading_failures(self, bert, cluster4, token_ids):
+        system = FaultTolerantVoltageSystem(bert, cluster4, failures={0: 0, 2: 1, 3: 2})
+        result = system.run(token_ids)
+        np.testing.assert_allclose(result.output, bert(token_ids), atol=1e-4)
+        assert result.meta["survivors"] == [1]
+
+    def test_failure_before_first_layer(self, bert, cluster4, token_ids):
+        system = FaultTolerantVoltageSystem(bert, cluster4, failures={3: 0})
+        result = system.run(token_ids)
+        np.testing.assert_allclose(result.output, bert(token_ids), atol=1e-4)
+
+    def test_all_devices_failing_raises(self, bert, cluster4, token_ids):
+        system = FaultTolerantVoltageSystem(
+            bert, cluster4, failures={0: 0, 1: 0, 2: 0, 3: 1}
+        )
+        with pytest.raises(AllDevicesFailedError):
+            system.run(token_ids)
+
+
+class TestLatencyAccounting:
+    def test_detection_timeout_charged_once_per_event(self, bert, cluster4, token_ids):
+        system = FaultTolerantVoltageSystem(
+            bert, cluster4, failures={0: 1, 1: 1}, detection_timeout_seconds=0.5
+        )
+        result = system.run(token_ids)
+        overhead = result.latency.seconds_of_kind("overhead")
+        assert overhead == pytest.approx(0.5)  # two devices, ONE event
+        assert result.meta["failure_events"] == [{"layer": 1, "devices": [0, 1]}]
+
+    def test_failure_slows_compute_makespan(self, bert, cluster4, token_ids):
+        healthy = FaultTolerantVoltageSystem(bert, cluster4).run(token_ids)
+        degraded = FaultTolerantVoltageSystem(
+            bert, cluster4, failures={0: 0, 1: 0}, detection_timeout_seconds=0.0
+        ).run(token_ids)
+        assert degraded.latency.compute_seconds > healthy.latency.compute_seconds
+
+    def test_late_failure_cheaper_than_early(self, bert, cluster4, token_ids):
+        """A device dying at the last layer wastes fewer layers than one
+        dying at the first."""
+        early = FaultTolerantVoltageSystem(
+            bert, cluster4, failures={0: 0}, detection_timeout_seconds=0.0
+        ).run(token_ids)
+        late = FaultTolerantVoltageSystem(
+            bert, cluster4, failures={0: bert.num_layers - 1}, detection_timeout_seconds=0.0
+        ).run(token_ids)
+        assert late.latency.compute_seconds < early.latency.compute_seconds
+
+
+class TestValidation:
+    def test_unknown_device_rejected(self, bert, cluster4):
+        with pytest.raises(ValueError, match="device 9"):
+            FaultTolerantVoltageSystem(bert, cluster4, failures={9: 0})
+
+    def test_negative_timeout_rejected(self, bert, cluster4):
+        with pytest.raises(ValueError, match="timeout"):
+            FaultTolerantVoltageSystem(
+                bert, cluster4, detection_timeout_seconds=-1.0
+            )

@@ -1,0 +1,175 @@
+"""Unit tests for the functional ops underlying everything else."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tensor import functional as F
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        x = rng.normal(size=(5, 7))
+        out = F.softmax(x)
+        np.testing.assert_allclose(out.sum(axis=-1), np.ones(5), atol=1e-12)
+
+    def test_matches_definition(self, rng):
+        x = rng.normal(size=(4,))
+        expected = np.exp(x) / np.exp(x).sum()
+        np.testing.assert_allclose(F.softmax(x), expected, atol=1e-12)
+
+    def test_stable_for_large_logits(self):
+        x = np.array([1e4, 1e4 + 1.0])
+        out = F.softmax(x)
+        assert np.all(np.isfinite(out))
+        np.testing.assert_allclose(out.sum(), 1.0)
+
+    def test_shift_invariance(self, rng):
+        x = rng.normal(size=(3, 6))
+        np.testing.assert_allclose(F.softmax(x), F.softmax(x + 100.0), atol=1e-12)
+
+    def test_axis_argument(self, rng):
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(F.softmax(x, axis=0).sum(axis=0), np.ones(4), atol=1e-12)
+
+    def test_masked_entries_get_zero_weight(self):
+        scores = np.array([[0.0, 0.0, -1e30]])
+        out = F.softmax(scores)
+        assert out[0, 2] == pytest.approx(0.0, abs=1e-12)
+        np.testing.assert_allclose(out[0, :2], [0.5, 0.5])
+
+    @given(st.integers(1, 8), st.integers(1, 8))
+    @settings(max_examples=25, deadline=None)
+    def test_property_shapes_and_range(self, n, m):
+        x = np.random.default_rng(n * 31 + m).normal(size=(n, m))
+        out = F.softmax(x)
+        assert out.shape == (n, m)
+        assert np.all(out >= 0) and np.all(out <= 1)
+
+
+class TestLogSoftmax:
+    def test_consistent_with_softmax(self, rng):
+        x = rng.normal(size=(4, 5))
+        np.testing.assert_allclose(np.exp(F.log_softmax(x)), F.softmax(x), atol=1e-12)
+
+    def test_stable(self):
+        out = F.log_softmax(np.array([1e4, 0.0]))
+        assert np.all(np.isfinite(out))
+
+
+class TestLayerNorm:
+    def test_zero_mean_unit_variance(self, rng):
+        x = rng.normal(2.0, 5.0, size=(6, 16))
+        out = F.layer_norm(x)
+        np.testing.assert_allclose(out.mean(axis=-1), np.zeros(6), atol=1e-9)
+        np.testing.assert_allclose(out.std(axis=-1), np.ones(6), atol=1e-3)
+
+    def test_affine_parameters(self, rng):
+        x = rng.normal(size=(3, 8))
+        weight = rng.normal(size=8)
+        bias = rng.normal(size=8)
+        np.testing.assert_allclose(
+            F.layer_norm(x, weight, bias), F.layer_norm(x) * weight + bias, atol=1e-12
+        )
+
+    def test_position_wise(self, rng):
+        """Row i of the output depends only on row i of the input — the
+        property that makes layer norm partitionable by position."""
+        x = rng.normal(size=(10, 8))
+        full = F.layer_norm(x)
+        np.testing.assert_allclose(F.layer_norm(x[3:7]), full[3:7], atol=1e-12)
+
+    def test_constant_row_is_finite(self):
+        out = F.layer_norm(np.full((1, 4), 3.0))
+        assert np.all(np.isfinite(out))
+
+
+class TestActivations:
+    def test_relu_clamps_negatives(self):
+        np.testing.assert_array_equal(F.relu(np.array([-2.0, 0.0, 3.0])), [0.0, 0.0, 3.0])
+
+    def test_gelu_known_values(self):
+        assert F.gelu(np.array([0.0]))[0] == pytest.approx(0.0)
+        # tanh-approximation reference value at x=1
+        assert F.gelu(np.array([1.0]))[0] == pytest.approx(0.841192, abs=1e-5)
+
+    def test_gelu_asymptotes(self):
+        assert F.gelu(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-6)
+        assert F.gelu(np.array([-10.0]))[0] == pytest.approx(0.0, abs=1e-6)
+
+    def test_activation_registry(self):
+        assert F.ACTIVATIONS["relu"] is F.relu
+        assert F.ACTIVATIONS["gelu"] is F.gelu
+
+
+class TestLinearAndEmbedding:
+    def test_linear_matches_matmul(self, rng):
+        x, w, b = rng.normal(size=(3, 4)), rng.normal(size=(4, 5)), rng.normal(size=5)
+        np.testing.assert_allclose(F.linear(x, w, b), x @ w + b, atol=1e-12)
+
+    def test_linear_without_bias(self, rng):
+        x, w = rng.normal(size=(3, 4)), rng.normal(size=(4, 5))
+        np.testing.assert_allclose(F.linear(x, w), x @ w, atol=1e-12)
+
+    def test_embedding_lookup(self, rng):
+        table = rng.normal(size=(10, 4))
+        ids = np.array([3, 0, 9])
+        np.testing.assert_array_equal(F.embedding(ids, table), table[[3, 0, 9]])
+
+    def test_embedding_rejects_out_of_range(self, rng):
+        table = rng.normal(size=(10, 4))
+        with pytest.raises(IndexError):
+            F.embedding(np.array([10]), table)
+        with pytest.raises(IndexError):
+            F.embedding(np.array([-1]), table)
+
+
+class TestCausalMask:
+    def test_square_mask_is_strictly_upper(self):
+        mask = F.causal_mask(4, 4)
+        np.testing.assert_array_equal(mask, np.triu(np.ones((4, 4), dtype=bool), k=1))
+
+    def test_offset_matches_full_mask_slice(self):
+        full = F.causal_mask(10, 10)
+        np.testing.assert_array_equal(F.causal_mask(4, 10, offset=3), full[3:7])
+
+    def test_first_row_with_offset_sees_prefix(self):
+        mask = F.causal_mask(1, 6, offset=2)
+        np.testing.assert_array_equal(mask[0], [False, False, False, True, True, True])
+
+
+class TestScaledDotProductAttention:
+    def test_matches_manual_computation(self, rng):
+        q, k, v = (rng.normal(size=(5, 8)) for _ in range(3))
+        scores = F.softmax(q @ k.T / math.sqrt(8))
+        np.testing.assert_allclose(
+            F.scaled_dot_product_attention(q, k, v), scores @ v, atol=1e-12
+        )
+
+    def test_batched_heads_axis(self, rng):
+        q, k, v = (rng.normal(size=(2, 5, 8)) for _ in range(3))
+        out = F.scaled_dot_product_attention(q, k, v)
+        for h in range(2):
+            np.testing.assert_allclose(
+                out[h], F.scaled_dot_product_attention(q[h], k[h], v[h]), atol=1e-12
+            )
+
+    def test_causal_masking_blocks_future(self, rng):
+        q, k, v = (rng.normal(size=(4, 8)) for _ in range(3))
+        mask = F.causal_mask(4, 4)
+        out = F.scaled_dot_product_attention(q, k, v, mask=mask)
+        # first query position may only attend to the first key → output == v[0]
+        np.testing.assert_allclose(out[0], v[0], atol=1e-12)
+
+
+class TestCrossEntropy:
+    def test_uniform_logits(self):
+        logits = np.zeros((2, 4))
+        assert F.cross_entropy(logits, np.array([0, 3])) == pytest.approx(math.log(4))
+
+    def test_confident_correct_prediction_near_zero(self):
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert F.cross_entropy(logits, np.array([0])) == pytest.approx(0.0, abs=1e-6)

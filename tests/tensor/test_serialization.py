@@ -1,0 +1,86 @@
+"""Tests for checkpoint save/load."""
+
+import numpy as np
+import pytest
+
+from repro.models import BertModel, tiny_config
+from repro.tensor.serialization import (
+    CheckpointError,
+    checkpoint_manifest,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+
+@pytest.fixture
+def model():
+    return BertModel(tiny_config(num_layers=2), num_classes=2,
+                     rng=np.random.default_rng(31))
+
+
+class TestRoundtrip:
+    def test_save_load_restores_outputs(self, model, tmp_path):
+        ids = model.encode_text("checkpoint roundtrip")
+        expected = model(ids)
+        path = save_checkpoint(model, tmp_path / "bert")
+        other = BertModel(tiny_config(num_layers=2), num_classes=2,
+                          rng=np.random.default_rng(99))
+        assert not np.allclose(other(ids), expected)
+        load_checkpoint(other, path)
+        np.testing.assert_allclose(other(ids), expected, atol=1e-7)
+
+    def test_suffix_appended(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "weights")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_manifest_lists_all_parameters(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "m")
+        names = checkpoint_manifest(path)
+        assert sorted(names) == sorted(n for n, _ in model.named_parameters())
+
+    def test_uncompressed_mode(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "raw", compress=False)
+        clone = BertModel(tiny_config(num_layers=2), num_classes=2,
+                          rng=np.random.default_rng(7))
+        load_checkpoint(clone, path)
+
+
+class TestValidation:
+    def test_missing_file(self, model, tmp_path):
+        with pytest.raises(CheckpointError, match="not found"):
+            load_checkpoint(model, tmp_path / "ghost.npz")
+
+    def test_strict_rejects_architecture_mismatch(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "small")
+        bigger = BertModel(tiny_config(num_layers=3), num_classes=2,
+                           rng=np.random.default_rng(0))
+        with pytest.raises(CheckpointError, match="mismatch"):
+            load_checkpoint(bigger, path)
+
+    def test_non_strict_loads_intersection(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "base")
+        different_head = BertModel(tiny_config(num_layers=2), num_classes=5,
+                                   rng=np.random.default_rng(0))
+        # classifier shapes differ → strict fails, non-strict must too
+        # (same names, different shapes → shape error even non-strict)
+        with pytest.raises(CheckpointError, match="classifier"):
+            load_checkpoint(different_head, path, strict=False)
+
+    def test_non_strict_partial_load(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "backbone")
+        target = BertModel(tiny_config(num_layers=3), num_classes=2,
+                           rng=np.random.default_rng(5))
+        ids = target.encode_text("partial")
+        before = target(ids)
+        load_checkpoint(target, path, strict=False)  # layers 0-1 overwritten
+        after = target(ids)
+        assert not np.allclose(before, after)
+
+    def test_random_npz_rejected(self, model, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, a=np.zeros(3))
+        with pytest.raises(CheckpointError, match="manifest"):
+            load_checkpoint(model, path)
+        with pytest.raises(CheckpointError, match="manifest"):
+            checkpoint_manifest(path)
