@@ -12,11 +12,17 @@ Usage::
     voltage-bench profile           # host-side span profile vs cost model
     voltage-bench headline          # Section VI-B text claims
     voltage-bench all --json out/   # everything, plus JSON dumps
+
+Any invocation accepts ``--trace OUT.json`` to capture the run as a Chrome
+``trace_event`` timeline (open in Perfetto / ``chrome://tracing``): every
+modeled latency phase, simulator collective and threaded-runtime operation
+of the figure computation lands in the file.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import sys
 from pathlib import Path
@@ -113,30 +119,46 @@ def main(argv: list[str] | None = None) -> int:
                         help="fig4/comm: network bandwidth in Mbps (default 500)")
     parser.add_argument("--devices", type=int, default=6,
                         help="fig4: max device count; fig5: fixed device count")
+    parser.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
+                        help="write a Chrome trace_event timeline of the whole run "
+                             "(open in Perfetto or chrome://tracing)")
     args = parser.parse_args(argv)
+    if args.trace is not None and (not args.trace.name or args.trace.is_dir()):
+        parser.error("--trace requires an output file path, e.g. --trace out.json")
+
+    from repro import obs
+
+    tracer = obs.Tracer() if args.trace is not None else None
+    trace_scope = obs.use_tracer(tracer) if tracer is not None else contextlib.nullcontext()
 
     fig6_mode = "model" if args.model else "measured"
-    if args.target in ("fig4", "all"):
-        _emit(figures.figure4(bandwidth_mbps=args.bandwidth, max_devices=args.devices), args.json)
-    if args.target in ("fig5", "all"):
-        _emit(figures.figure5(num_devices=args.devices), args.json)
-    if args.target in ("fig6", "all"):
-        _emit(figures.figure6(mode=fig6_mode), args.json)
-    if args.target in ("comm", "all"):
-        _emit(figures.comm_volume_table(), args.json)
-        _emit(figures.memory_tradeoff_table(), args.json)
-    if args.target in ("ablations", "all"):
-        _emit(figures.ablation_order_choice(), args.json)
-        _emit(figures.ablation_heterogeneous(), args.json)
-        _emit(figures.ablation_dynamic_schemes(), args.json)
-        _emit(figures.efficient_attention_comm_table(), args.json)
-        _emit(figures.ablation_comm_precision(), args.json)
-    if args.target in ("serving", "all"):
-        _emit(figures.serving_tail_latency(), args.json)
-    if args.target == "profile":
-        _run_profile(args.layers, args.words)
-    if args.target in ("headline", "all"):
-        _run_headline(args.json)
+    with trace_scope:
+        if args.target in ("fig4", "all"):
+            _emit(figures.figure4(bandwidth_mbps=args.bandwidth, max_devices=args.devices),
+                  args.json)
+        if args.target in ("fig5", "all"):
+            _emit(figures.figure5(num_devices=args.devices), args.json)
+        if args.target in ("fig6", "all"):
+            _emit(figures.figure6(mode=fig6_mode), args.json)
+        if args.target in ("comm", "all"):
+            _emit(figures.comm_volume_table(), args.json)
+            _emit(figures.memory_tradeoff_table(), args.json)
+        if args.target in ("ablations", "all"):
+            _emit(figures.ablation_order_choice(), args.json)
+            _emit(figures.ablation_heterogeneous(), args.json)
+            _emit(figures.ablation_dynamic_schemes(), args.json)
+            _emit(figures.efficient_attention_comm_table(), args.json)
+            _emit(figures.ablation_comm_precision(), args.json)
+        if args.target in ("serving", "all"):
+            _emit(figures.serving_tail_latency(), args.json)
+        if args.target == "profile":
+            _run_profile(args.layers, args.words)
+        if args.target in ("headline", "all"):
+            _run_headline(args.json)
+
+    if tracer is not None:
+        path = obs.write_chrome_trace(tracer, args.trace)
+        print(f"trace: {len(tracer)} spans -> {path}")
     return 0
 
 

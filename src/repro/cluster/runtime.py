@@ -21,6 +21,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer
+
 __all__ = ["CommStats", "WorkerContext", "ThreadedRuntime", "RuntimeError_"]
 
 
@@ -85,6 +88,12 @@ class WorkerContext:
     def barrier(self) -> None:
         self._shared.barrier.wait()
 
+    def _span(self, name: str, kind: str = "comm"):
+        """Wall-clock trace span on this rank's track (no-op if untraced)."""
+        return current_tracer().span(
+            name, cat="runtime", kind=kind, track=f"rank {self.rank}", device=self.rank
+        )
+
     # -- collectives ---------------------------------------------------------
 
     def all_gather(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
@@ -95,15 +104,17 @@ class WorkerContext:
         chunks, the paper's Voltage per-layer volume.
         """
         shared = self._shared
-        shared.slots[self.rank] = array
-        shared.barrier.wait()
-        parts = list(shared.slots)
-        result = np.concatenate(parts, axis=axis)
-        shared.barrier.wait()  # nobody may overwrite slots until all have read
-        total = sum(p.nbytes for p in parts)
-        self.stats.bytes_sent += total - array.nbytes
-        self.stats.bytes_received += total - array.nbytes
-        self.stats.collective_calls += 1
+        with self._span("all_gather") as span:
+            shared.slots[self.rank] = array
+            shared.barrier.wait()
+            parts = list(shared.slots)
+            result = np.concatenate(parts, axis=axis)
+            shared.barrier.wait()  # nobody may overwrite slots until all have read
+            total = sum(p.nbytes for p in parts)
+            self.stats.bytes_sent += total - array.nbytes
+            self.stats.bytes_received += total - array.nbytes
+            self.stats.collective_calls += 1
+            span.set(nbytes=total - array.nbytes)
         return result
 
     def all_reduce(self, array: np.ndarray) -> np.ndarray:
@@ -113,35 +124,49 @@ class WorkerContext:
         two of these per layer is tensor parallelism's Section V-C volume.
         """
         shared = self._shared
-        shared.slots[self.rank] = array
-        shared.barrier.wait()
-        arrays = list(shared.slots)
-        out = np.array(arrays[0], copy=True)
-        for arr in arrays[1:]:
-            out = out + arr
-        shared.barrier.wait()
-        k = self.world_size
-        ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
-        self.stats.bytes_sent += ring
-        self.stats.bytes_received += ring
-        self.stats.collective_calls += 1
+        with self._span("all_reduce") as span:
+            shared.slots[self.rank] = array
+            shared.barrier.wait()
+            arrays = list(shared.slots)
+            out = np.array(arrays[0], copy=True)
+            for arr in arrays[1:]:
+                out = out + arr
+            shared.barrier.wait()
+            k = self.world_size
+            ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
+            self.stats.bytes_sent += ring
+            self.stats.bytes_received += ring
+            self.stats.collective_calls += 1
+            span.set(nbytes=ring)
         return out
 
     def broadcast(self, array: np.ndarray | None, root: int = 0) -> np.ndarray:
-        """Root's array is delivered to every rank."""
+        """Root's array is delivered to every rank.
+
+        Non-root ranks receive a private *copy*: a real broadcast puts a
+        distinct buffer on every device, so an in-place mutation by one
+        rank must never be visible to the others.  (Returning the root's
+        array by reference was a shared-memory leak of the thread backend —
+        protocols that mutated their received tensor silently corrupted
+        every peer.)
+        """
         shared = self._shared
-        if self.rank == root:
-            if array is None:
-                raise ValueError("broadcast root must supply an array")
-            shared.slots[root] = array
-        shared.barrier.wait()
-        result = shared.slots[root]
-        shared.barrier.wait()
-        if self.rank == root:
-            self.stats.bytes_sent += result.nbytes * (self.world_size - 1)
-        else:
-            self.stats.bytes_received += result.nbytes
-        self.stats.collective_calls += 1
+        with self._span("broadcast") as span:
+            if self.rank == root:
+                if array is None:
+                    raise ValueError("broadcast root must supply an array")
+                shared.slots[root] = array
+            shared.barrier.wait()
+            result = shared.slots[root]
+            if self.rank != root:
+                result = np.array(result, copy=True)
+            shared.barrier.wait()
+            if self.rank == root:
+                self.stats.bytes_sent += result.nbytes * (self.world_size - 1)
+            else:
+                self.stats.bytes_received += result.nbytes
+            self.stats.collective_calls += 1
+            span.set(nbytes=result.nbytes)
         return result
 
     # -- point to point --------------------------------------------------------
@@ -156,23 +181,39 @@ class WorkerContext:
 
         if not (0 <= dst < self.world_size) or dst == self.rank:
             raise ValueError(f"invalid destination rank {dst} (self={self.rank})")
-        self._sequence += 1
-        frame = encode_frame(
-            payload, kind=kind, sender=self.rank, sequence=self._sequence
-        )
-        self._shared.mailbox(self.rank, dst).put(frame)
-        self.stats.bytes_sent += len(frame)
-        self.stats.p2p_messages += 1
+        with self._span("send") as span:
+            self._sequence += 1
+            frame = encode_frame(
+                payload, kind=kind, sender=self.rank, sequence=self._sequence
+            )
+            self._shared.mailbox(self.rank, dst).put(frame)
+            self.stats.bytes_sent += len(frame)
+            self.stats.p2p_messages += 1
+            span.set(nbytes=len(frame), dst=dst)
 
     def recv(self, src: int, timeout: float = 30.0) -> np.ndarray:
         from repro.cluster.wire import decode_frame
 
         if not (0 <= src < self.world_size) or src == self.rank:
             raise ValueError(f"invalid source rank {src} (self={self.rank})")
-        data = self._shared.mailbox(src, self.rank).get(timeout=timeout)
-        frame = decode_frame(data)
-        self.stats.bytes_received += len(data)
-        self.stats.p2p_messages += 1
+        with self._span("recv") as span:
+            try:
+                data = self._shared.mailbox(src, self.rank).get(timeout=timeout)
+            except queue.Empty:
+                # a bare queue.Empty says nothing about who was waiting on
+                # whom — rewrap with the protocol context so a hung peer is
+                # diagnosable from the traceback alone
+                raise RuntimeError_(
+                    self.rank,
+                    TimeoutError(
+                        f"rank {self.rank} timed out after {timeout}s waiting to "
+                        f"recv from rank {src} (sender never sent, or died)"
+                    ),
+                ) from None
+            frame = decode_frame(data)
+            self.stats.bytes_received += len(data)
+            self.stats.p2p_messages += 1
+            span.set(nbytes=len(data), src=src)
         return frame.payload
 
 
@@ -202,11 +243,16 @@ class ThreadedRuntime:
         def runner(rank: int) -> None:
             ctx = WorkerContext(rank, shared)
             try:
-                results[rank] = worker_fn(ctx)
+                with current_tracer().span(
+                    "worker", cat="runtime", kind="request",
+                    track=f"rank {rank}", device=rank,
+                ):
+                    results[rank] = worker_fn(ctx)
                 stats[rank] = ctx.stats
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
+                wrapped = exc if isinstance(exc, RuntimeError_) else RuntimeError_(rank, exc)
                 with error_lock:
-                    errors.append(RuntimeError_(rank, exc))
+                    errors.append(wrapped)
                 shared.barrier.abort()
 
         threads = [
@@ -219,7 +265,25 @@ class ThreadedRuntime:
             thread.join()
         if errors:
             raise errors[0]
+        self._record_metrics(stats)
         return results, stats
+
+    @staticmethod
+    def _record_metrics(stats: Sequence[CommStats]) -> None:
+        """Fold per-worker CommStats into the process-wide metrics registry."""
+        registry = get_registry()
+        registry.counter("runtime.runs_total").inc()
+        registry.counter("runtime.bytes_sent").inc(sum(s.bytes_sent for s in stats))
+        registry.counter("runtime.bytes_received").inc(
+            sum(s.bytes_received for s in stats)
+        )
+        registry.counter("runtime.collective_calls").inc(
+            sum(s.collective_calls for s in stats)
+        )
+        registry.counter("runtime.p2p_messages").inc(sum(s.p2p_messages for s in stats))
+        per_worker = registry.histogram("runtime.worker_total_bytes")
+        for s in stats:
+            per_worker.observe(s.total_bytes)
 
     def run_spmd(
         self, worker_fns: Sequence[Callable[[WorkerContext], object]]

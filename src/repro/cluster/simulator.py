@@ -22,12 +22,18 @@ from collections.abc import Callable, Sequence
 
 from repro.cluster import collectives
 from repro.cluster.spec import ClusterSpec
+from repro.obs.tracer import current_tracer
 
 __all__ = ["ClusterSim", "Resource", "EventEngine"]
 
 
 class ClusterSim:
-    """Cost helpers for bulk-synchronous protocols on a :class:`ClusterSpec`."""
+    """Cost helpers for bulk-synchronous protocols on a :class:`ClusterSpec`.
+
+    Every call is mirrored into the active tracer (cat ``"sim"``, modeled
+    time, byte annotations) so a traced run shows the simulator's view of
+    the protocol alongside the request's critical-path phases.
+    """
 
     def __init__(self, cluster: ClusterSpec):
         self.cluster = cluster
@@ -35,6 +41,12 @@ class ClusterSim:
     @property
     def k(self) -> int:
         return self.cluster.num_devices
+
+    def _record(self, name: str, kind: str, seconds: float, nbytes: float | None = None) -> float:
+        current_tracer().record_modeled(
+            name, cat="sim", kind=kind, seconds=seconds, track="simulator", nbytes=nbytes
+        )
+        return seconds
 
     # -- compute -------------------------------------------------------------
 
@@ -44,30 +56,37 @@ class ClusterSim:
             raise ValueError(
                 f"expected {self.k} per-device FLOP counts, got {len(flops_per_device)}"
             )
-        return max(
+        seconds = max(
             device.compute_seconds(flops)
             for device, flops in zip(self.cluster.devices, flops_per_device)
         )
+        return self._record("compute_makespan", "compute", seconds)
 
     def terminal_compute(self, flops: float) -> float:
-        return self.cluster.terminal_device.compute_seconds(flops)
+        seconds = self.cluster.terminal_device.compute_seconds(flops)
+        return self._record("terminal_compute", "compute", seconds)
 
     # -- collectives ---------------------------------------------------------
 
     def all_gather(self, chunk_bytes: Sequence[float]) -> float:
-        return collectives.all_gather_seconds(self.cluster.network, chunk_bytes)
+        seconds = collectives.all_gather_seconds(self.cluster.network, chunk_bytes)
+        return self._record("all_gather", "comm", seconds, nbytes=sum(chunk_bytes))
 
     def all_reduce(self, total_bytes: float) -> float:
-        return collectives.all_reduce_seconds(self.cluster.network, total_bytes, self.k)
+        seconds = collectives.all_reduce_seconds(self.cluster.network, total_bytes, self.k)
+        return self._record("all_reduce", "comm", seconds, nbytes=total_bytes)
 
     def broadcast(self, nbytes: float) -> float:
-        return collectives.broadcast_seconds(self.cluster.network, nbytes, self.k)
+        seconds = collectives.broadcast_seconds(self.cluster.network, nbytes, self.k)
+        return self._record("broadcast", "comm", seconds, nbytes=nbytes)
 
     def gather(self, chunk_bytes: Sequence[float]) -> float:
-        return collectives.gather_seconds(self.cluster.network, chunk_bytes)
+        seconds = collectives.gather_seconds(self.cluster.network, chunk_bytes)
+        return self._record("gather", "comm", seconds, nbytes=sum(chunk_bytes))
 
     def point_to_point(self, nbytes: float) -> float:
-        return self.cluster.network.transfer_seconds(nbytes)
+        seconds = self.cluster.network.transfer_seconds(nbytes)
+        return self._record("point_to_point", "comm", seconds, nbytes=nbytes)
 
 
 class Resource:

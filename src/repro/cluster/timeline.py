@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.tracer import current_tracer
+
 __all__ = ["Phase", "LatencyBreakdown"]
 
 _KINDS = ("compute", "comm", "overhead")
@@ -39,6 +41,11 @@ class LatencyBreakdown:
 
     def add(self, name: str, kind: str, seconds: float, layer: int | None = None) -> None:
         self.phases.append(Phase(name=name, kind=kind, seconds=seconds, layer=layer))
+        # mirror every phase into the active trace as a modeled span on the
+        # critical-path track (no-op unless a tracer is installed)
+        current_tracer().record_modeled(
+            name, cat="phase", kind=kind, seconds=seconds, track="request", layer=layer
+        )
 
     def seconds_of_kind(self, kind: str) -> float:
         if kind not in _KINDS:

@@ -24,7 +24,7 @@ from collections.abc import Callable, Sequence
 
 from repro.cluster.simulator import Resource
 from repro.serving.arrivals import Request
-from repro.serving.stats import ServedRequest, ServingStats
+from repro.serving.stats import ServedRequest, ServingStats, record_serving_metrics
 
 __all__ = ["MonolithicServer", "PerDeviceServer", "PipelineServer", "service_models"]
 
@@ -38,6 +38,8 @@ def _validate(requests: Sequence[Request]) -> list[Request]:
 class MonolithicServer:
     """All devices serve one request at a time (barrier-style systems)."""
 
+    shape = "monolithic"
+
     def __init__(self, service_time: Callable[[int], float]):
         self.service_time = service_time
 
@@ -47,6 +49,7 @@ class MonolithicServer:
         for request in _validate(requests):
             start, finish = cluster.reserve(request.arrival, self.service_time(request.n))
             served.append(ServedRequest(request=request, start=start, finish=finish))
+        record_serving_metrics(self.shape, served)
         return served
 
     def run(self, requests: Sequence[Request]) -> ServingStats:
@@ -55,6 +58,8 @@ class MonolithicServer:
 
 class PerDeviceServer:
     """K independent replicas; each request goes to the earliest-free one."""
+
+    shape = "per-device"
 
     def __init__(self, service_time: Callable[[int], float], num_devices: int):
         if num_devices < 1:
@@ -70,6 +75,7 @@ class PerDeviceServer:
             device = min(devices, key=lambda d: max(d.available_at, request.arrival))
             start, finish = device.reserve(request.arrival, self.service_time(request.n))
             served.append(ServedRequest(request=request, start=start, finish=finish))
+        record_serving_metrics(self.shape, served)
         return served
 
     def run(self, requests: Sequence[Request]) -> ServingStats:
@@ -78,6 +84,8 @@ class PerDeviceServer:
 
 class PipelineServer:
     """Layer-stage pipeline: per-stage FIFO resources plus inter-stage hops."""
+
+    shape = "pipeline"
 
     def __init__(
         self,
@@ -105,6 +113,7 @@ class PipelineServer:
                 start = begin if start is None else start
                 _, t = links[stage + 1].reserve(t, hop)
             served.append(ServedRequest(request=request, start=start, finish=t))
+        record_serving_metrics(self.shape, served)
         return served
 
     def run(self, requests: Sequence[Request]) -> ServingStats:

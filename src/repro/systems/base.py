@@ -23,6 +23,8 @@ from repro.cluster.simulator import ClusterSim
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import LatencyBreakdown
 from repro.models.base import TransformerModel
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer
 
 __all__ = ["InferenceResult", "InferenceSystem", "activation_bytes"]
 
@@ -66,6 +68,23 @@ class InferenceSystem:
     def latency_seconds(self, raw) -> float:
         """Convenience wrapper for sweeps that only need the scalar."""
         return self.run(raw).total_seconds
+
+    def traced_run(self, raw) -> InferenceResult:
+        """:meth:`run` inside a wall-clock request span, with per-system
+        request metrics (count + modeled-latency histogram) recorded into
+        the default registry.  The phase/sim spans emitted during ``run``
+        nest under the request span's timeline in an exported trace."""
+        with current_tracer().span(
+            f"{self.name}.run", cat="system", kind="request", system=self.name
+        ) as span:
+            result = self.run(raw)
+            span.set(n=result.meta.get("n"), modeled_seconds=result.total_seconds)
+        registry = get_registry()
+        registry.counter("system.requests_total", system=self.name).inc()
+        registry.histogram("system.modeled_latency_seconds", system=self.name).observe(
+            result.total_seconds
+        )
+        return result
 
     # -- shared terminal-side stages -----------------------------------------
 

@@ -45,6 +45,25 @@ class FailureSchedule:
             if device < 0 or layer < 0:
                 raise ValueError(f"invalid failure entry: device {device}, layer {layer}")
 
+    def validate(self, num_devices: int, num_layers: int) -> None:
+        """Reject entries that cannot occur on the given deployment.
+
+        A ``fail_layer >= num_layers`` entry would never match any layer's
+        ``dying_at`` check, silently leaving that device alive for the whole
+        request — an injected failure that tests *think* they exercised but
+        never happened.
+        """
+        for device, layer in self.failures.items():
+            if device >= num_devices:
+                raise ValueError(
+                    f"failure names device {device}, cluster has {num_devices}"
+                )
+            if layer >= num_layers:
+                raise ValueError(
+                    f"failure for device {device} at layer {layer} can never fire: "
+                    f"model has only {num_layers} layers"
+                )
+
     def dead_before(self, layer: int) -> set:
         """Devices that failed at an earlier layer (strictly before ``layer``)."""
         return {d for d, fail_layer in self.failures.items() if fail_layer < layer}
@@ -79,9 +98,7 @@ class FaultTolerantVoltageSystem(InferenceSystem):
         if isinstance(failures, dict):
             failures = FailureSchedule(failures)
         self.failures = failures if failures is not None else FailureSchedule()
-        for device in self.failures.failures:
-            if device >= self.k:
-                raise ValueError(f"failure names device {device}, cluster has {self.k}")
+        self.failures.validate(self.k, len(model.layers))
         if detection_timeout_seconds < 0:
             raise ValueError("detection timeout must be >= 0")
         self.detection_timeout_seconds = detection_timeout_seconds

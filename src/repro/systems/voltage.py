@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.cluster.collectives import all_gather_arrays
 from repro.cluster.runtime import CommStats, ThreadedRuntime
 from repro.cluster.timeline import LatencyBreakdown
@@ -121,14 +122,16 @@ class VoltageSystem(InferenceSystem):
         latency = LatencyBreakdown()
         x = self._terminal_preprocess(raw, latency)
         n, f = x.shape
-        scheme = self.scheme_for(n)
+        layer_schemes = [
+            self.scheme_for(n, layer=index) for index in range(len(self.executors))
+        ]
 
         latency.add("broadcast input", "comm", self.sim.broadcast(activation_bytes(n, f)))
 
         comm_bytes_per_device = 0.0
         orders_used: list[str] = []
         for index, executor in enumerate(self.executors):
-            parts = self.scheme_for(n, layer=index).positions(n)
+            parts = layer_schemes[index].positions(n)
             outputs = [
                 self._encode_for_wire(executor.forward_partition(x, part))
                 for part in parts
@@ -160,6 +163,10 @@ class VoltageSystem(InferenceSystem):
             )
 
         output = self._terminal_postprocess(x, latency)
+        # a LayerSchedule may change the scheme per layer (Section V-B); the
+        # meta must describe what actually ran, not just layer 0's ratios
+        ratios_per_layer = [s.ratios for s in layer_schemes]
+        uniform = all(r == ratios_per_layer[0] for r in ratios_per_layer)
         return InferenceResult(
             output=output,
             latency=latency,
@@ -167,7 +174,9 @@ class VoltageSystem(InferenceSystem):
                 "system": self.name,
                 "n": n,
                 "devices": self.k,
-                "scheme": scheme.ratios,
+                "scheme": ratios_per_layer[0] if uniform else ratios_per_layer,
+                "scheme_uniform": uniform,
+                "scheme_per_layer": ratios_per_layer,
                 "orders": orders_used,
                 "wire_dtype": self.wire_dtype,
                 "allgather_bytes_per_device": comm_bytes_per_device,
@@ -180,10 +189,11 @@ class VoltageSystem(InferenceSystem):
         """Run Algorithm 2 on real concurrent workers.
 
         Every worker holds the full model replica (Voltage's deployment
-        assumption), computes its partition per layer, and All-Gathers with
-        the others.  Returns the post-processed output and per-worker
-        communication statistics — the integration tests check the output
-        matches :meth:`run` and the byte counters match Section V-C.
+        assumption), computes its partition per layer, applies the configured
+        wire encoding, and All-Gathers with the others.  Returns the
+        post-processed output and per-worker communication statistics — the
+        integration tests check the output matches :meth:`run` *bit-for-bit
+        for every wire_dtype* and the byte counters match Section V-C.
         """
         x0 = self.model.preprocess(raw)
         n = x0.shape[0]
@@ -192,11 +202,20 @@ class VoltageSystem(InferenceSystem):
             self.scheme_for(n, layer=index).positions(n)
             for index in range(len(executors))
         ]
+        tracer = obs.current_tracer()
 
         def worker(ctx) -> np.ndarray:
             x = x0  # broadcast of the input features (replicated host memory)
-            for executor, parts in zip(executors, layer_parts):
-                out = executor.forward_partition(x, parts[ctx.rank])
+            for index, (executor, parts) in enumerate(zip(executors, layer_parts)):
+                with tracer.span(
+                    "partition compute", cat="runtime", kind="compute",
+                    track=f"rank {ctx.rank}", device=ctx.rank, layer=index,
+                ):
+                    out = executor.forward_partition(x, parts[ctx.rank])
+                    # what crosses the network must be the *encoded* partition,
+                    # exactly as run() emulates it — skipping this made
+                    # float16/int8 threaded outputs diverge from run()'s
+                    out = self._encode_for_wire(out)
                 x = ctx.all_gather(out, axis=0)
             return x
 

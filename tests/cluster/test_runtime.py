@@ -106,6 +106,26 @@ class TestBroadcast:
         for out in results:
             np.testing.assert_array_equal(out, [42.0])
 
+    def test_non_root_result_is_a_private_copy(self):
+        """Regression: broadcast used to hand every rank a reference to the
+        root's array, so one rank mutating its "own" result corrupted the
+        root's data and every peer's view of it."""
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            payload = np.array([1.0, 2.0]) if ctx.rank == 0 else None
+            received = ctx.broadcast(payload, root=0)
+            ctx.barrier()  # everyone holds the result before anyone mutates
+            if ctx.rank == 1:
+                received += 100.0  # in-place mutation on a non-root rank
+            ctx.barrier()
+            return received
+
+        results, _ = runtime.run(worker)
+        np.testing.assert_array_equal(results[0], [1.0, 2.0])  # root untouched
+        np.testing.assert_array_equal(results[1], [101.0, 102.0])
+        np.testing.assert_array_equal(results[2], [1.0, 2.0])  # peer untouched
+
     def test_root_without_array_fails(self):
         runtime = ThreadedRuntime(2)
 
@@ -162,6 +182,23 @@ class TestPointToPoint:
 
         with pytest.raises(RuntimeError_):
             runtime.run(send_to_self)
+
+    def test_recv_timeout_raises_runtime_error_with_context(self):
+        """Regression: a recv with no matching send used to let the bare
+        ``queue.Empty`` escape, losing the sender/receiver context."""
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            if ctx.rank == 1:
+                return ctx.recv(0, timeout=0.05)  # rank 0 never sends
+            return None
+
+        with pytest.raises(RuntimeError_) as excinfo:
+            runtime.run(worker)
+        assert excinfo.value.rank == 1
+        message = str(excinfo.value.cause)
+        assert "rank 1" in message and "rank 0" in message
+        assert "0.05" in message
 
 
 class TestErrorHandling:

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.efficient import linformer as lfm
-from tests.conftest import make_attention_params
 
 
 @pytest.fixture

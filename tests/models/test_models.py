@@ -11,7 +11,6 @@ from repro.models import (
     tiny_config,
     vit_base_config,
 )
-from repro.tensor import functional as F
 
 
 def tiny_vit_config():

@@ -1,0 +1,94 @@
+"""Exporter tests: Chrome trace_event schema compliance + text summary."""
+
+import json
+
+from repro.obs.export import (
+    chrome_trace_events,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracer import Tracer
+
+
+def make_tracer() -> Tracer:
+    tracer = Tracer()
+    with tracer.span("outer", cat="runtime", kind="request", track="rank 0", device=0):
+        with tracer.span("inner", cat="runtime", kind="comm", track="rank 0",
+                         device=0, nbytes=64):
+            pass
+    tracer.record_modeled("phase-a", cat="phase", kind="compute", seconds=0.25, layer=0)
+    tracer.record_modeled("phase-b", cat="phase", kind="comm", seconds=0.75,
+                          layer=0, nbytes=1024)
+    return tracer
+
+
+class TestChromeTraceSchema:
+    def test_complete_events_have_required_fields(self):
+        events = chrome_trace_events(make_tracer())
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 4
+        for event in complete:
+            for field in ("name", "cat", "ts", "dur", "pid", "tid", "args"):
+                assert field in event, f"missing {field}"
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert event["dur"] >= 0
+            assert "kind" in event["args"]
+
+    def test_metadata_events_name_processes_and_threads(self):
+        events = chrome_trace_events(make_tracer())
+        meta = [e for e in events if e["ph"] == "M"]
+        names = {e["name"] for e in meta}
+        assert names == {"process_name", "thread_name"}
+        labels = {e["args"]["name"] for e in meta if e["name"] == "process_name"}
+        assert labels == {"wall-clock", "modeled time"}
+        # one thread_name per distinct track per domain
+        tracks = {e["args"]["name"] for e in meta if e["name"] == "thread_name"}
+        assert tracks == {"rank 0", "request"}
+
+    def test_wall_and_model_domains_use_distinct_pids(self):
+        events = chrome_trace_events(make_tracer())
+        wall = {e["pid"] for e in events if e["ph"] == "X" and e["cat"] == "runtime"}
+        model = {e["pid"] for e in events if e["ph"] == "X" and e["cat"] == "phase"}
+        assert wall and model and wall.isdisjoint(model)
+
+    def test_timestamps_are_microseconds(self):
+        tracer = Tracer()
+        tracer.record_modeled("a", cat="phase", kind="compute", seconds=0.5)
+        tracer.record_modeled("b", cat="phase", kind="compute", seconds=0.5)
+        events = [e for e in chrome_trace_events(tracer) if e["ph"] == "X"]
+        assert events[0]["dur"] == 0.5e6
+        assert events[1]["ts"] == 0.5e6
+
+    def test_byte_and_layer_annotations_in_args(self):
+        events = chrome_trace_events(make_tracer())
+        by_name = {e["name"]: e for e in events if e["ph"] == "X"}
+        assert by_name["phase-b"]["args"]["nbytes"] == 1024
+        assert by_name["phase-b"]["args"]["layer"] == 0
+        assert by_name["inner"]["args"]["device"] == 0
+
+    def test_document_wrapper_and_round_trip(self, tmp_path):
+        tracer = make_tracer()
+        doc = to_chrome_trace(tracer)
+        assert "traceEvents" in doc
+        assert doc["displayTimeUnit"] == "ms"
+        path = write_chrome_trace(tracer, tmp_path / "out" / "trace.json")
+        assert path.exists()
+        parsed = json.loads(path.read_text())
+        assert parsed == json.loads(json.dumps(doc))  # fully JSON-serialisable
+
+
+class TestSummaryTable:
+    def test_aggregates_by_cat_kind_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            tracer.record_modeled("ag", cat="sim", kind="comm", seconds=0.1, nbytes=1e6)
+        text = summary_table(tracer)
+        assert "ag" in text
+        assert "3" in text  # count column
+        assert "3.000" in text  # 3 MB total
+
+    def test_empty_tracer_gives_header_only(self):
+        text = summary_table(Tracer())
+        assert "span" in text

@@ -1,0 +1,110 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    format_metric_name,
+    get_registry,
+    use_registry,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge()
+        g.set(5)
+        g.inc(2)
+        g.dec(3)
+        assert g.value == 4.0
+
+
+class TestHistogram:
+    def test_quantiles_match_numpy(self):
+        h = Histogram()
+        values = list(range(1, 101))  # 1..100
+        for v in values:
+            h.observe(v)
+        assert h.count == 100
+        assert h.mean == pytest.approx(50.5)
+        assert h.p50 == pytest.approx(np.percentile(values, 50))
+        assert h.p95 == pytest.approx(np.percentile(values, 95))
+        assert h.p99 == pytest.approx(np.percentile(values, 99))
+        assert h.max == 100
+        assert h.total == pytest.approx(sum(values))
+
+    def test_single_observation_quantiles_collapse(self):
+        h = Histogram()
+        h.observe(7.0)
+        assert h.p50 == h.p95 == h.p99 == 7.0
+
+    def test_empty_histogram_raises(self):
+        with pytest.raises(ValueError):
+            Histogram().p50
+
+
+class TestRegistry:
+    def test_get_or_create_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", server="x")
+        b = reg.counter("hits", server="x")
+        c = reg.counter("hits", server="y")
+        assert a is b
+        assert a is not c
+
+    def test_type_clash_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("m")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("m")
+
+    def test_snapshot_and_summary(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs").inc(3)
+        reg.gauge("depth").set(2)
+        h = reg.histogram("lat", server="mono")
+        for v in (0.1, 0.2, 0.3):
+            h.observe(v)
+        snap = reg.snapshot()
+        assert snap["reqs"] == {"type": "counter", "value": 3.0}
+        assert snap["depth"] == {"type": "gauge", "value": 2.0}
+        assert snap["lat{server=mono}"]["count"] == 3
+        assert snap["lat{server=mono}"]["p50"] == pytest.approx(0.2)
+        text = reg.summary()
+        assert "lat{server=mono}" in text
+        assert "reqs" in text
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {}
+
+    def test_use_registry_swaps_default(self):
+        original = get_registry()
+        mine = MetricsRegistry()
+        with use_registry(mine):
+            assert get_registry() is mine
+            get_registry().counter("scoped").inc()
+        assert get_registry() is original
+        assert "scoped" in mine.snapshot()
+
+    def test_format_metric_name(self):
+        assert format_metric_name("n", {}) == "n"
+        assert format_metric_name("n", {"b": 1, "a": 2}) == "n{a=2,b=1}"

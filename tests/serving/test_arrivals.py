@@ -1,6 +1,5 @@
 """Tests for arrival process generators."""
 
-import numpy as np
 import pytest
 
 from repro.serving.arrivals import Request, bursty_arrivals, poisson_arrivals, uniform_arrivals

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.cluster.dynamics import constant_trace, random_walk_trace, spike_trace
-from repro.cluster.spec import ClusterSpec
 from repro.systems import AdaptiveVoltageSystem, VoltageSystem
 
 

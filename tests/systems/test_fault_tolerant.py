@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster.spec import ClusterSpec
 from repro.systems import VoltageSystem
 from repro.systems.fault_tolerant import (
     AllDevicesFailedError,
@@ -30,6 +29,14 @@ class TestFailureSchedule:
             FailureSchedule({-1: 0})
         with pytest.raises(ValueError):
             FailureSchedule({0: -2})
+
+    def test_validate_against_deployment(self):
+        schedule = FailureSchedule({1: 3})
+        schedule.validate(num_devices=2, num_layers=4)  # fine
+        with pytest.raises(ValueError, match="device 1"):
+            schedule.validate(num_devices=1, num_layers=4)
+        with pytest.raises(ValueError, match="never fire"):
+            schedule.validate(num_devices=2, num_layers=3)
 
 
 class TestOutputCorrectness:
@@ -98,6 +105,16 @@ class TestValidation:
     def test_unknown_device_rejected(self, bert, cluster4):
         with pytest.raises(ValueError, match="device 9"):
             FaultTolerantVoltageSystem(bert, cluster4, failures={9: 0})
+
+    def test_unreachable_failure_layer_rejected(self, bert, cluster4):
+        """Regression: a fail_layer past the model depth used to be accepted
+        silently — the injected failure never fired and the test exercising
+        it proved nothing."""
+        with pytest.raises(ValueError, match="can never fire"):
+            FaultTolerantVoltageSystem(bert, cluster4, failures={0: bert.num_layers})
+
+    def test_last_layer_failure_still_accepted(self, bert, cluster4):
+        FaultTolerantVoltageSystem(bert, cluster4, failures={0: bert.num_layers - 1})
 
     def test_negative_timeout_rejected(self, bert, cluster4):
         with pytest.raises(ValueError, match="timeout"):

@@ -65,8 +65,29 @@ class TestLatencyStructure:
     def test_meta_reports_scheme_and_orders(self, bert, cluster4, token_ids):
         result = VoltageSystem(bert, cluster4).run(token_ids)
         assert len(result.meta["scheme"]) == 4
+        assert result.meta["scheme_uniform"] is True
+        assert len(result.meta["scheme_per_layer"]) == bert.num_layers
         assert len(result.meta["orders"]) == bert.num_layers
         assert set(result.meta["orders"]) <= {"eq3", "eq8"}
+
+    def test_meta_reports_per_layer_schemes_under_schedule(self, bert, cluster4, token_ids):
+        """Regression: meta["scheme"] used to echo layer 0's ratios even when
+        a LayerSchedule varied the split every layer."""
+        from repro.core.partition import PartitionScheme
+        from repro.core.schedule import LayerSchedule
+
+        schedule = LayerSchedule([
+            PartitionScheme.even(4),
+            PartitionScheme([0.5, 0.3, 0.1, 0.1]),
+        ])
+        result = VoltageSystem(bert, cluster4, scheme=schedule).run(token_ids)
+        assert result.meta["scheme_uniform"] is False
+        per_layer = result.meta["scheme"]
+        assert len(per_layer) == bert.num_layers
+        assert per_layer[0] == PartitionScheme.even(4).ratios
+        assert per_layer[1] == PartitionScheme([0.5, 0.3, 0.1, 0.1]).ratios
+        assert per_layer[2] == per_layer[1]  # last scheme repeats
+        assert result.meta["scheme_per_layer"] == per_layer
 
     def test_allgather_bytes_match_planner_formula(self, bert, cluster4, token_ids):
         from repro.core.planner import voltage_layer_bytes

@@ -1,0 +1,25 @@
+"""Lint gate: run ruff over the codebase when it is available.
+
+The check is configured by ``[tool.ruff]`` in pyproject.toml and skipped
+in environments where ruff is not installed, so the test suite itself
+carries no extra dependency.
+"""
+
+import shutil
+import subprocess
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.skipif(shutil.which("ruff") is None, reason="ruff not installed")
+def test_ruff_check_src_and_tests():
+    proc = subprocess.run(
+        ["ruff", "check", "src", "tests"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode == 0, f"ruff violations:\n{proc.stdout}{proc.stderr}"
