@@ -12,6 +12,8 @@ Usage::
     voltage-bench profile           # host-side span profile vs cost model
     voltage-bench headline          # Section VI-B text claims
     voltage-bench all --json out/   # everything, plus JSON dumps
+    voltage-bench verify --seeds 25 # differential conformance fuzzing
+    voltage-bench verify --replay 7 # re-run one scenario by its seed
 
 Any invocation accepts ``--trace OUT.json`` to capture the run as a Chrome
 ``trace_event`` timeline (open in Perfetto / ``chrome://tracing``): every
@@ -96,6 +98,32 @@ def _run_profile(num_layers: int, n_words: int) -> None:
     )
 
 
+def _run_verify(args) -> int:
+    """Differential conformance fuzzing (``repro.verify``)."""
+    from repro import verify
+
+    if args.replay is not None:
+        result = verify.replay_seed(args.replay)
+        print(f"replay {result.config.label}")
+        for check in result.checks:
+            status = "skip" if check.skipped else ("ok" if check.passed else "FAIL")
+            detail = f"  ({check.detail})" if check.detail else ""
+            print(f"  {status:>4s} {check.name}{detail}")
+        if result.error:
+            print(f"  ERROR {result.error}")
+        return 0 if result.ok else 1
+
+    report = verify.run_verification(
+        num_seeds=args.seeds, base_seed=args.base_seed, shrink=not args.no_shrink
+    )
+    print(report.summary())
+    if args.json is not None:
+        args.json.mkdir(parents=True, exist_ok=True)
+        (args.json / "verify.json").write_text(report.to_json())
+        print(f"report: {args.json / 'verify.json'}")
+    return 0 if report.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="voltage-bench",
@@ -104,7 +132,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig4", "fig5", "fig6", "comm", "ablations", "serving", "profile",
-                 "headline", "all"],
+                 "headline", "verify", "all"],
         help="which experiment to run",
     )
     parser.add_argument("--layers", type=int, default=4,
@@ -122,7 +150,18 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--trace", type=Path, default=None, metavar="OUT.json",
                         help="write a Chrome trace_event timeline of the whole run "
                              "(open in Perfetto or chrome://tracing)")
+    parser.add_argument("--seeds", type=int, default=10,
+                        help="verify: number of fuzzed scenarios (default 10)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="verify: first scenario seed (default 0)")
+    parser.add_argument("--replay", type=int, default=None, metavar="SEED",
+                        help="verify: re-run a single scenario by seed and print "
+                             "every conformance check")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="verify: skip minimising failing configs")
     args = parser.parse_args(argv)
+    if args.target == "verify":
+        return _run_verify(args)
     if args.trace is not None and (not args.trace.name or args.trace.is_dir()):
         parser.error("--trace requires an output file path, e.g. --trace out.json")
 

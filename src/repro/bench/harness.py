@@ -8,6 +8,7 @@ all consume one representation.
 from __future__ import annotations
 
 import json
+import math
 import time
 from dataclasses import dataclass, field
 from collections.abc import Callable, Sequence
@@ -33,9 +34,15 @@ class Series:
     def ys(self) -> list[float]:
         return [p[1] for p in self.points]
 
-    def y_at(self, x: float) -> float:
+    def y_at(self, x: float, rel_tol: float = 1e-9, abs_tol: float = 1e-12) -> float:
+        """The y value at ``x``, matching x within a float tolerance.
+
+        Exact ``px == x`` comparison silently missed points whose x was
+        reconstructed through arithmetic (e.g. a bandwidth parsed back from
+        JSON, or ``0.1 + 0.2``-style sweep grids).
+        """
         for px, py in self.points:
-            if px == x:
+            if math.isclose(px, x, rel_tol=rel_tol, abs_tol=abs_tol):
                 return py
         raise KeyError(f"series {self.label!r} has no point at x={x}")
 

@@ -1,0 +1,293 @@
+"""Run one scenario through every execution path and cross-check the results.
+
+The differential contract, per scenario:
+
+- ``SingleDeviceSystem.run`` must reproduce ``model.forward`` bit-for-bit
+  (same ops, same order — any difference is a harness bug);
+- every distributed ``run()`` output must match the single-device reference
+  within the dtype-aware bound of :mod:`repro.verify.tolerances`;
+- ``execute_threaded()`` must match the corresponding ``run()`` output
+  bit-for-bit (both sides exchange identically-encoded activations);
+- the analytic latency model must reproduce the system's simulated
+  :class:`LatencyBreakdown` phase-by-phase within ``ANALYTIC_REL_TOL``;
+- the All-Gather byte meta must equal the volume implied by the partition
+  scheme and wire itemsize exactly;
+- with failure injection, the fault-tolerant system must still match the
+  reference and report the expected survivors.
+
+``run_scenario`` never raises on a conformance violation — each violation
+becomes a failed :class:`Check` so the fuzzing loop can keep sampling and
+the shrinker can re-evaluate candidate configs cheaply.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.bench import analytic
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core.layer import OrderPolicy
+from repro.core.partition import PartitionScheme
+from repro.systems import (
+    FailureSchedule,
+    FaultTolerantVoltageSystem,
+    PipelineParallelSystem,
+    SingleDeviceSystem,
+    TensorParallelSystem,
+    VoltageSystem,
+)
+from repro.systems.base import activation_bytes
+from repro.verify.scenario import ScenarioConfig, build_cluster, build_input, build_model, build_scheme
+from repro.verify.tolerances import ANALYTIC_REL_TOL, max_abs_diff, output_tolerance, outputs_close
+
+__all__ = ["Check", "ScenarioResult", "run_scenario", "default_voltage_factory"]
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named conformance assertion with a machine-readable outcome."""
+
+    name: str
+    passed: bool
+    skipped: bool = False
+    detail: str = ""
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "passed": self.passed,
+            "skipped": self.skipped,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class ScenarioResult:
+    """All checks of one scenario, plus the config that produced them."""
+
+    config: ScenarioConfig
+    checks: list[Check] = field(default_factory=list)
+    error: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return not self.error and all(c.passed or c.skipped for c in self.checks)
+
+    @property
+    def failed_checks(self) -> list[Check]:
+        return [c for c in self.checks if not c.passed and not c.skipped]
+
+    def to_dict(self) -> dict:
+        return {
+            "config": self.config.to_dict(),
+            "label": self.config.label,
+            "ok": self.ok,
+            "error": self.error,
+            "checks": [c.to_dict() for c in self.checks],
+        }
+
+
+def default_voltage_factory(model, cluster, config: ScenarioConfig) -> VoltageSystem:
+    """Build the Voltage system exactly as the scenario specifies."""
+    return VoltageSystem(
+        model,
+        cluster,
+        scheme=build_scheme(config),
+        policy=OrderPolicy(config.order_mode),
+        wire_dtype=config.wire_dtype,
+    )
+
+
+def _phase_rows(latency: LatencyBreakdown) -> list[tuple[str, str, float]]:
+    return [(p.name, p.kind, p.seconds) for p in latency.phases]
+
+
+def _timelines_agree(
+    analytic_latency: LatencyBreakdown, simulated: LatencyBreakdown
+) -> tuple[bool, str]:
+    ours, theirs = _phase_rows(analytic_latency), _phase_rows(simulated)
+    if len(ours) != len(theirs):
+        return False, f"phase count {len(ours)} != {len(theirs)}"
+    for (a_name, a_kind, a_s), (s_name, s_kind, s_s) in zip(ours, theirs):
+        if (a_name, a_kind) != (s_name, s_kind):
+            return False, f"phase mismatch: analytic {a_name}/{a_kind} vs system {s_name}/{s_kind}"
+        if not math.isclose(a_s, s_s, rel_tol=ANALYTIC_REL_TOL, abs_tol=1e-15):
+            return False, f"phase {s_name!r}: analytic {a_s!r} vs simulated {s_s!r}"
+    return True, ""
+
+
+def _expected_allgather_bytes(system: VoltageSystem, n: int) -> float:
+    """Per-device All-Gather traffic the scheme + wire encoding imply."""
+    f = system.model.config.hidden_size
+    total = 0.0
+    for index in range(len(system.executors) - 1):
+        parts = system.scheme_for(n, layer=index).positions(n)
+        chunk_bytes = [
+            activation_bytes(part.length, f, itemsize=system.wire_itemsize)
+            for part in parts
+        ]
+        total += sum(chunk_bytes) - max(chunk_bytes)
+    return total
+
+
+def _closeness_detail(output, reference, wire_dtype) -> str:
+    tol = output_tolerance(wire_dtype, reference)
+    return (
+        f"max|diff|={max_abs_diff(output, reference):.3e} "
+        f"(rtol={tol.rtol:g}, atol={tol.atol:.3e}, dtype={wire_dtype})"
+    )
+
+
+def run_scenario(
+    config: ScenarioConfig,
+    voltage_factory=default_voltage_factory,
+) -> ScenarioResult:
+    """Execute every path for ``config`` and return the check list.
+
+    ``voltage_factory(model, cluster, config)`` builds the Voltage system
+    under test — tests substitute deliberately-broken subclasses here to
+    prove the harness catches (and the shrinker minimises) real bug classes.
+    """
+    result = ScenarioResult(config=config)
+    checks = result.checks
+    try:
+        model = build_model(config)
+        cluster = build_cluster(config)
+        raw = build_input(config, model)
+        reference = model.forward(raw)
+        n = model.sequence_length(raw)
+
+        # 1. single-device path is the bit-exact reference implementation
+        single = SingleDeviceSystem(model, cluster).run(raw)
+        checks.append(
+            Check(
+                "single_device_exact",
+                passed=bool(np.array_equal(single.output, reference)),
+                detail="SingleDeviceSystem.run vs model.forward",
+            )
+        )
+
+        # 2. Voltage: simulated run vs reference, threaded vs simulated
+        voltage = voltage_factory(model, cluster, config)
+        vrun = voltage.run(raw)
+        checks.append(
+            Check(
+                "voltage_run_vs_single",
+                passed=outputs_close(vrun.output, reference, config.wire_dtype),
+                detail=_closeness_detail(vrun.output, reference, config.wire_dtype),
+            )
+        )
+        threaded, _stats = voltage.execute_threaded(raw)
+        checks.append(
+            Check(
+                "voltage_threaded_vs_run",
+                passed=bool(np.array_equal(threaded, vrun.output)),
+                detail=f"max|diff|={max_abs_diff(threaded, vrun.output):.3e} (must be bit-identical)",
+            )
+        )
+
+        # 3. analytic latency model vs the simulated timeline
+        static_scheme = _static_scheme(voltage, config, n)
+        if static_scheme is None:
+            checks.append(
+                Check(
+                    "voltage_analytic_vs_sim",
+                    passed=True,
+                    skipped=True,
+                    detail="per-layer LayerSchedule has no analytic mirror",
+                )
+            )
+        else:
+            modelled = analytic.voltage_latency(
+                model.config,
+                n,
+                cluster,
+                scheme=static_scheme,
+                policy=voltage.policy,
+                pre_flops=model.preprocess_flops(n),
+                post_flops=model.postprocess_flops(n),
+                wire_itemsize=voltage.wire_itemsize,
+            )
+            agree, detail = _timelines_agree(modelled, vrun.latency)
+            checks.append(Check("voltage_analytic_vs_sim", passed=agree, detail=detail))
+
+        # 4. communication-volume meta vs the scheme-implied bytes
+        expected_bytes = _expected_allgather_bytes(voltage, n)
+        reported = vrun.meta.get("allgather_bytes_per_device", float("nan"))
+        checks.append(
+            Check(
+                "voltage_comm_volume",
+                passed=math.isclose(reported, expected_bytes, rel_tol=1e-12, abs_tol=1e-9),
+                detail=f"meta {reported!r} vs scheme-implied {expected_bytes!r}",
+            )
+        )
+
+        # 5. tensor parallelism: run + threaded (always float32 wire)
+        tp = TensorParallelSystem(model, cluster)
+        tp_run = tp.run(raw)
+        checks.append(
+            Check(
+                "tensor_parallel_run_vs_single",
+                passed=outputs_close(tp_run.output, reference, "float32"),
+                detail=_closeness_detail(tp_run.output, reference, "float32"),
+            )
+        )
+        tp_threaded, _ = tp.execute_threaded(raw)
+        checks.append(
+            Check(
+                "tensor_parallel_threaded_vs_run",
+                passed=bool(np.array_equal(tp_threaded, tp_run.output)),
+                detail=f"max|diff|={max_abs_diff(tp_threaded, tp_run.output):.3e}",
+            )
+        )
+
+        # 6. pipeline parallelism applies the same layers sequentially
+        pipeline = PipelineParallelSystem(model, cluster).run(raw)
+        checks.append(
+            Check(
+                "pipeline_run_vs_single",
+                passed=bool(np.array_equal(pipeline.output, reference)),
+                detail="stage-chained layers must be bit-identical to the reference",
+            )
+        )
+
+        # 7. failure injection: survivors must still produce the answer
+        if config.failures:
+            schedule = FailureSchedule(dict(config.failures))
+            ft = FaultTolerantVoltageSystem(model, cluster, failures=schedule)
+            ft_run = ft.run(raw)
+            checks.append(
+                Check(
+                    "fault_tolerant_run_vs_single",
+                    passed=outputs_close(ft_run.output, reference, "float32"),
+                    detail=_closeness_detail(ft_run.output, reference, "float32"),
+                )
+            )
+            expected_survivors = [
+                d for d in range(config.devices)
+                if all(d != dev for dev, _ in config.failures)
+            ]
+            checks.append(
+                Check(
+                    "fault_tolerant_survivors",
+                    passed=ft_run.meta.get("survivors") == expected_survivors,
+                    detail=f"meta {ft_run.meta.get('survivors')} vs expected {expected_survivors}",
+                )
+            )
+    except Exception as exc:  # noqa: BLE001 - a crash is itself a finding
+        result.error = f"{type(exc).__name__}: {exc}"
+    return result
+
+
+def _static_scheme(
+    voltage: VoltageSystem, config: ScenarioConfig, n: int
+) -> PartitionScheme | None:
+    """The single scheme all layers use, or None under a true LayerSchedule."""
+    if config.scheme_kind == "schedule":
+        ratios = {tuple(r) for r in config.schedule_ratios}
+        if len(ratios) > 1:
+            return None
+    return voltage.scheme_for(n, layer=0)

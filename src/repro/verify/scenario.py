@@ -1,0 +1,257 @@
+"""Randomized scenario configurations for differential conformance fuzzing.
+
+A :class:`ScenarioConfig` pins down *everything* that influences one
+end-to-end inference — model family and shape, input length, cluster
+geometry, partition scheme, wire encoding, attention-order policy and
+failure injection — as plain JSON-serialisable data.  Two invariants make
+the fuzzing loop trustworthy:
+
+- **determinism** — :func:`sample_scenario` derives the whole configuration
+  from a single integer seed through one ``np.random.Generator``, so a
+  failure report's seed replays the exact scenario, byte for byte;
+- **self-containedness** — :func:`build_model` / :func:`build_input` /
+  :func:`build_cluster` construct the concrete objects from the config
+  alone, so a shrunk copy of the config is still runnable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+from repro.core.partition import PartitionScheme
+from repro.core.schedule import LayerSchedule
+from repro.models import BertModel, GPT2Model, ViTModel, tiny_config
+from repro.models.base import TransformerModel
+
+__all__ = ["ScenarioConfig", "sample_scenario", "build_model", "build_input", "build_cluster"]
+
+FAMILIES = ("bert", "gpt2", "vit")
+SCHEME_KINDS = ("even", "proportional", "auto", "schedule")
+WIRE_DTYPES = ("float32", "float16", "int8")
+ORDER_MODES = ("adaptive", "naive", "reordered")
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """One fully-specified fuzzing scenario (JSON-serialisable)."""
+
+    seed: int
+    family: str = "bert"
+    num_layers: int = 2
+    num_heads: int = 4
+    head_dim: int = 8
+    ffn_dim: int = 64
+    seq_len: int = 16
+    devices: int = 2
+    device_gflops: tuple[float, ...] = (2.0, 2.0)
+    bandwidth_mbps: float = 500.0
+    scheme_kind: str = "even"
+    schedule_ratios: tuple[tuple[float, ...], ...] | None = None
+    wire_dtype: str = "float32"
+    order_mode: str = "adaptive"
+    failures: tuple[tuple[int, int], ...] = ()
+    image_size: int = 16  # vit only: seq_len = (image_size/patch_size)^2 + 1
+    patch_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.family not in FAMILIES:
+            raise ValueError(f"family must be one of {FAMILIES}, got {self.family!r}")
+        if self.scheme_kind not in SCHEME_KINDS:
+            raise ValueError(f"scheme_kind must be one of {SCHEME_KINDS}")
+        if self.wire_dtype not in WIRE_DTYPES:
+            raise ValueError(f"wire_dtype must be one of {WIRE_DTYPES}")
+        if self.order_mode not in ORDER_MODES:
+            raise ValueError(f"order_mode must be one of {ORDER_MODES}")
+        if len(self.device_gflops) != self.devices:
+            raise ValueError(
+                f"{len(self.device_gflops)} speeds for {self.devices} devices"
+            )
+        if self.scheme_kind == "schedule" and not self.schedule_ratios:
+            raise ValueError("scheme_kind='schedule' needs schedule_ratios")
+        for device, layer in self.failures:
+            if not (0 <= device < self.devices) or not (0 <= layer < self.num_layers):
+                raise ValueError(f"failure ({device}, {layer}) outside the deployment")
+
+    @property
+    def hidden_size(self) -> int:
+        return self.num_heads * self.head_dim
+
+    @property
+    def label(self) -> str:
+        """Compact one-line description for reports and logs."""
+        extras = []
+        if self.schedule_ratios:
+            extras.append(f"schedule[{len(self.schedule_ratios)}]")
+        if self.failures:
+            extras.append(f"failures={list(self.failures)}")
+        tail = (" " + " ".join(extras)) if extras else ""
+        return (
+            f"seed={self.seed} {self.family} L={self.num_layers} F={self.hidden_size} "
+            f"N={self.seq_len} K={self.devices} {self.scheme_kind}/{self.wire_dtype}"
+            f"/{self.order_mode}{tail}"
+        )
+
+    # -- serialisation --------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "family": self.family,
+            "num_layers": self.num_layers,
+            "num_heads": self.num_heads,
+            "head_dim": self.head_dim,
+            "ffn_dim": self.ffn_dim,
+            "seq_len": self.seq_len,
+            "devices": self.devices,
+            "device_gflops": list(self.device_gflops),
+            "bandwidth_mbps": self.bandwidth_mbps,
+            "scheme_kind": self.scheme_kind,
+            "schedule_ratios": (
+                [list(r) for r in self.schedule_ratios] if self.schedule_ratios else None
+            ),
+            "wire_dtype": self.wire_dtype,
+            "order_mode": self.order_mode,
+            "failures": [list(f) for f in self.failures],
+            "image_size": self.image_size,
+            "patch_size": self.patch_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ScenarioConfig":
+        data = dict(data)
+        data["device_gflops"] = tuple(data["device_gflops"])
+        ratios = data.get("schedule_ratios")
+        data["schedule_ratios"] = (
+            tuple(tuple(r) for r in ratios) if ratios else None
+        )
+        data["failures"] = tuple(tuple(f) for f in data.get("failures", []))
+        return cls(**data)
+
+    def replaced(self, **overrides) -> "ScenarioConfig":
+        return replace(self, **overrides)
+
+
+def _normalised(weights: Sequence[float]) -> tuple[float, ...]:
+    total = float(sum(weights))
+    return tuple(float(w) / total for w in weights)
+
+
+def sample_scenario(seed: int) -> ScenarioConfig:
+    """Draw one scenario; the same seed always yields the same scenario."""
+    rng = np.random.default_rng(seed)
+    family = FAMILIES[rng.integers(0, len(FAMILIES))]
+    num_layers = int(rng.integers(1, 5))
+    num_heads = int(rng.choice([2, 4]))
+    head_dim = int(rng.choice([4, 8]))
+    ffn_dim = num_heads * head_dim * int(rng.choice([2, 4]))
+    devices = int(rng.integers(1, 6))
+
+    if rng.random() < 0.5:
+        gflops = (2.0,) * devices
+    else:
+        gflops = tuple(float(g) for g in rng.uniform(1.0, 8.0, size=devices).round(3))
+
+    image_size, patch_size = int(rng.choice([16, 24])), 8
+    if family == "vit":
+        seq_len = (image_size // patch_size) ** 2 + 1
+    else:
+        seq_len = int(rng.integers(4, 41))
+
+    scheme_kind = SCHEME_KINDS[rng.integers(0, len(SCHEME_KINDS))]
+    schedule_ratios = None
+    if scheme_kind == "schedule":
+        schedule_ratios = tuple(
+            _normalised(rng.uniform(0.25, 1.0, size=devices)) for _ in range(num_layers)
+        )
+
+    # weight float32 highest: it is the only dtype with exact-path checks
+    wire_dtype = str(rng.choice(WIRE_DTYPES, p=[0.5, 0.25, 0.25]))
+    order_mode = str(rng.choice(ORDER_MODES, p=[0.6, 0.2, 0.2]))
+
+    failures: tuple[tuple[int, int], ...] = ()
+    if devices >= 2 and rng.random() < 0.25:
+        failures = ((int(rng.integers(0, devices)), int(rng.integers(0, num_layers))),)
+
+    return ScenarioConfig(
+        seed=seed,
+        family=family,
+        num_layers=num_layers,
+        num_heads=num_heads,
+        head_dim=head_dim,
+        ffn_dim=ffn_dim,
+        seq_len=seq_len,
+        devices=devices,
+        device_gflops=gflops,
+        bandwidth_mbps=float(rng.choice([50.0, 200.0, 500.0, 1000.0])),
+        scheme_kind=scheme_kind,
+        schedule_ratios=schedule_ratios,
+        wire_dtype=wire_dtype,
+        order_mode=order_mode,
+        failures=failures,
+        image_size=image_size,
+        patch_size=patch_size,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Concrete object construction (config → model / input / cluster / scheme)
+# ---------------------------------------------------------------------------
+
+
+def build_model(config: ScenarioConfig) -> TransformerModel:
+    """Instantiate the scenario's model with seed-derived weights."""
+    rng = np.random.default_rng(config.seed + 1)
+    shape = dict(
+        num_layers=config.num_layers,
+        num_heads=config.num_heads,
+        hidden_size=config.hidden_size,
+        ffn_dim=config.ffn_dim,
+    )
+    if config.family == "bert":
+        return BertModel(tiny_config(**shape), num_classes=3, rng=rng)
+    if config.family == "gpt2":
+        cfg = tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, **shape)
+        return GPT2Model(cfg, rng=rng)
+    cfg = tiny_config(
+        norm_style="pre",
+        type_vocab_size=0,
+        vocab_size=1,
+        max_positions=config.seq_len,
+        name="tiny-vit",
+        extras={
+            "image_size": config.image_size,
+            "patch_size": config.patch_size,
+            "num_channels": 3,
+        },
+        **shape,
+    )
+    return ViTModel(cfg, num_classes=5, rng=rng)
+
+
+def build_input(config: ScenarioConfig, model: TransformerModel):
+    """The raw request the terminal receives (token ids or an image)."""
+    rng = np.random.default_rng(config.seed + 2)
+    if config.family == "vit":
+        return rng.normal(size=(3, config.image_size, config.image_size)).astype(np.float32)
+    return rng.integers(0, model.config.vocab_size, size=config.seq_len).astype(np.int64)
+
+
+def build_cluster(config: ScenarioConfig) -> ClusterSpec:
+    return ClusterSpec.heterogeneous(
+        list(config.device_gflops), bandwidth_mbps=config.bandwidth_mbps
+    )
+
+
+def build_scheme(config: ScenarioConfig):
+    """The ``scheme`` argument for :class:`VoltageSystem` (or None/"auto")."""
+    if config.scheme_kind == "even":
+        return None
+    if config.scheme_kind == "proportional":
+        return PartitionScheme.proportional(config.device_gflops)
+    if config.scheme_kind == "auto":
+        return "auto"
+    return LayerSchedule([PartitionScheme(r) for r in config.schedule_ratios])

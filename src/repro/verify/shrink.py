@@ -1,0 +1,152 @@
+"""Greedy failing-config shrinker: minimise a scenario while it still fails.
+
+Given a failing :class:`ScenarioConfig` and a predicate ``fails(config)``,
+the shrinker repeatedly tries simpler candidate configs — fewer layers,
+fewer devices, shorter sequences, an even scheme instead of a per-layer
+schedule, no failure injection, homogeneous speeds — and keeps the first
+candidate that *still fails*.  It terminates at a local minimum: no single
+simplification step preserves the failure.
+
+Candidates that would remove the failure are rejected automatically, so the
+distinguishing dimension survives shrinking by construction (e.g. a wire-
+encoding bug keeps its non-float32 ``wire_dtype`` because every float32
+candidate passes).  The shrink order is deterministic — the same failing
+config always shrinks to the same minimal config.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+
+from repro.verify.scenario import ScenarioConfig
+
+__all__ = ["shrink_config", "config_cost"]
+
+_MIN_SEQ = 2
+
+
+def config_cost(config: ScenarioConfig) -> float:
+    """Scalar 'size' of a scenario — what the shrinker minimises."""
+    cost = (
+        config.num_layers * 1000
+        + config.devices * 100
+        + config.seq_len
+        + config.num_heads * config.head_dim
+    )
+    if config.schedule_ratios:
+        cost += 50
+    if config.failures:
+        cost += 50
+    if len(set(config.device_gflops)) > 1:
+        cost += 25
+    return float(cost)
+
+
+def _fixup(config: ScenarioConfig, **overrides) -> ScenarioConfig | None:
+    """Apply ``overrides`` and repair dependent fields; None if impossible."""
+    merged = {**config.to_dict(), **overrides}
+    devices = merged["devices"]
+    num_layers = merged["num_layers"]
+    if devices < 1 or num_layers < 1 or merged["seq_len"] < _MIN_SEQ:
+        return None
+
+    gflops = list(merged["device_gflops"])[:devices]
+    gflops += [gflops[0] if gflops else 2.0] * (devices - len(gflops))
+    merged["device_gflops"] = gflops
+
+    # per-layer schedules do not survive geometry changes; fall back to even
+    if merged["schedule_ratios"] is not None and (
+        devices != config.devices or num_layers != config.num_layers
+    ):
+        merged["schedule_ratios"] = None
+        merged["scheme_kind"] = "even"
+    if merged["scheme_kind"] == "schedule" and merged["schedule_ratios"] is None:
+        merged["scheme_kind"] = "even"
+
+    merged["failures"] = [
+        [d, layer] for d, layer in merged["failures"] if d < devices and layer < num_layers
+    ]
+    if merged["family"] == "vit":
+        merged["seq_len"] = (merged["image_size"] // merged["patch_size"]) ** 2 + 1
+    try:
+        return ScenarioConfig.from_dict(merged)
+    except ValueError:
+        return None
+
+
+def _candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
+    """Simpler variants of ``config``, most aggressive first."""
+    seen: set[str] = set()
+
+    def emit(candidate: ScenarioConfig | None):
+        if candidate is None:
+            return None
+        key = repr(candidate.to_dict())
+        if key in seen or config_cost(candidate) >= config_cost(config):
+            return None
+        seen.add(key)
+        return candidate
+
+    for layers in (1, config.num_layers // 2):
+        if layers != config.num_layers:
+            c = emit(_fixup(config, num_layers=layers))
+            if c:
+                yield c
+    for devices in (1, 2, config.devices // 2):
+        if devices != config.devices:
+            c = emit(_fixup(config, devices=devices))
+            if c:
+                yield c
+    if config.family != "vit":
+        for seq in (_MIN_SEQ, 4, config.seq_len // 2):
+            if seq != config.seq_len:
+                c = emit(_fixup(config, seq_len=seq))
+                if c:
+                    yield c
+    if config.failures:
+        c = emit(_fixup(config, failures=[]))
+        if c:
+            yield c
+    if config.scheme_kind != "even":
+        c = emit(_fixup(config, scheme_kind="even", schedule_ratios=None))
+        if c:
+            yield c
+    if len(set(config.device_gflops)) > 1:
+        c = emit(_fixup(config, device_gflops=[2.0] * config.devices))
+        if c:
+            yield c
+    if config.order_mode != "adaptive":
+        c = emit(_fixup(config, order_mode="adaptive"))
+        if c:
+            yield c
+    if (config.num_heads, config.head_dim) != (2, 4):
+        c = emit(_fixup(config, num_heads=2, head_dim=4, ffn_dim=16))
+        if c:
+            yield c
+
+
+def shrink_config(
+    config: ScenarioConfig,
+    fails: Callable[[ScenarioConfig], bool],
+    max_attempts: int = 200,
+) -> ScenarioConfig:
+    """Smallest config (under :func:`config_cost`) that still satisfies ``fails``.
+
+    ``config`` itself must fail; the original is returned unchanged when no
+    simplification preserves the failure.  ``max_attempts`` bounds the total
+    number of predicate evaluations (each one replays a scenario).
+    """
+    current = config
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for candidate in _candidates(current):
+            attempts += 1
+            if fails(candidate):
+                current = candidate
+                improved = True
+                break
+            if attempts >= max_attempts:
+                break
+    return current

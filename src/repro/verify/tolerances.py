@@ -1,0 +1,80 @@
+"""Dtype-aware tolerance policy for the differential conformance checks.
+
+Three distinct comparison regimes, in decreasing strictness:
+
+1. **bit-identity** — the simulated (``run``) and threaded
+   (``execute_threaded``) wire paths execute the *same* arithmetic on the
+   *same* encoded arrays, so their outputs must agree to the last bit; any
+   difference is a protocol divergence, never float noise.
+
+2. **dtype-aware closeness** — a distributed output vs. the single-device
+   reference.  float32 runs differ from the reference only by re-associated
+   float arithmetic (partitioned attention, partial sums), so the bound is
+   tight; float16/int8 wire encodings are *deliberately* lossy, and their
+   bounds reflect the quantisation step compounded across layers.
+
+3. **analytic-vs-simulated timing** — the config-driven latency model and
+   the system's :class:`LatencyBreakdown` compute the same formulas through
+   different code paths; they must agree to relative ``1e-9`` (pure float
+   accumulation slack, no modelling slack).
+
+The closeness bounds are *scale-aware*: the absolute term is multiplied by
+``max(1, max|reference|)`` so that a GPT-2 logit vector with entries in the
+hundreds is judged by the same relative yardstick as a BERT 3-class head.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Tolerance",
+    "OUTPUT_TOLERANCES",
+    "ANALYTIC_REL_TOL",
+    "output_tolerance",
+    "outputs_close",
+    "max_abs_diff",
+]
+
+#: Relative bound for analytic-vs-simulated per-phase timing agreement.
+ANALYTIC_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """An ``allclose``-style (rtol, atol) pair."""
+
+    rtol: float
+    atol: float
+
+
+#: Per-wire-dtype output bounds (atol is scaled by the reference magnitude).
+OUTPUT_TOLERANCES = {
+    "float32": Tolerance(rtol=1e-5, atol=2e-4),
+    "float16": Tolerance(rtol=2e-2, atol=1e-1),
+    "int8": Tolerance(rtol=8e-2, atol=4.5e-1),
+}
+
+
+def output_tolerance(wire_dtype: str, reference: np.ndarray) -> Tolerance:
+    """The bound for comparing a distributed output against ``reference``."""
+    base = OUTPUT_TOLERANCES[wire_dtype]
+    scale = max(1.0, float(np.max(np.abs(reference)))) if reference.size else 1.0
+    return Tolerance(rtol=base.rtol, atol=base.atol * scale)
+
+
+def outputs_close(output: np.ndarray, reference: np.ndarray, wire_dtype: str) -> bool:
+    if output.shape != reference.shape:
+        return False
+    tol = output_tolerance(wire_dtype, reference)
+    return bool(np.allclose(output, reference, rtol=tol.rtol, atol=tol.atol))
+
+
+def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:
+    if a.shape != b.shape:
+        return float("inf")
+    if a.size == 0:
+        return 0.0
+    return float(np.max(np.abs(np.asarray(a, dtype=np.float64) - b)))

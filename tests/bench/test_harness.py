@@ -20,6 +20,24 @@ class TestSeries:
         with pytest.raises(KeyError):
             Series("s").y_at(1)
 
+    def test_y_at_tolerates_float_dust(self):
+        """Regression: exact ``px == x`` lookup missed x values that were
+        rebuilt through float arithmetic (0.1+0.2 != 0.3)."""
+        series = Series("s")
+        series.add(0.1 + 0.2, 42.0)
+        assert series.y_at(0.3) == 42.0
+
+    def test_y_at_relative_tolerance_at_scale(self):
+        series = Series("s")
+        series.add(1e9 + 0.1, 7.0)  # within rel_tol of 1e9 at this magnitude
+        assert series.y_at(1e9) == 7.0
+
+    def test_y_at_still_rejects_genuinely_different_x(self):
+        series = Series("s")
+        series.add(1.0, 1.0)
+        with pytest.raises(KeyError):
+            series.y_at(1.001)
+
 
 class TestFigureResult:
     def make(self):

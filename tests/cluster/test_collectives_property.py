@@ -65,3 +65,105 @@ class TestCostModelProperties:
         half = coll.all_gather_seconds(net(efficiency=0.5), [1e6] * 4)
         alpha_term = 3 * 0.004
         assert (half - alpha_term) == pytest.approx(2 * (full - alpha_term))
+
+
+nonuniform_chunks = st.lists(st.floats(0.0, 1e6), min_size=2, max_size=8)
+
+
+class TestNonUniformChunks:
+    """Heterogeneous partition ratios produce unequal chunk sizes — the cost
+    models must stay sane off the even-split happy path."""
+
+    @given(chunks=nonuniform_chunks)
+    @settings(max_examples=40, deadline=None)
+    def test_allgather_is_paced_by_the_largest_chunk(self, chunks):
+        t = coll.all_gather_seconds(net(), chunks)
+        assert t == pytest.approx((len(chunks) - 1) * net().transfer_seconds(max(chunks)))
+
+    @given(chunks=nonuniform_chunks, seed=st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_allgather_cost_is_permutation_invariant(self, chunks, seed):
+        shuffled = list(chunks)
+        np.random.default_rng(seed).shuffle(shuffled)
+        assert coll.all_gather_seconds(net(), shuffled) == pytest.approx(
+            coll.all_gather_seconds(net(), chunks)
+        )
+
+    @given(chunks=nonuniform_chunks)
+    @settings(max_examples=40, deadline=None)
+    def test_allgather_volume_excludes_own_largest_chunk(self, chunks):
+        volume = coll.all_gather_volume_bytes(chunks)
+        assert volume == pytest.approx(sum(chunks) - max(chunks))
+        assert 0 <= volume <= sum(chunks)
+
+
+class TestDegenerateSingleDevice:
+    """K=1 clusters communicate nothing: every collective must cost zero
+    (not raise, not go negative) so 1-device scenarios stay runnable."""
+
+    @given(chunk=st.floats(0.0, 1e8))
+    @settings(max_examples=30, deadline=None)
+    def test_single_device_collectives_are_free(self, chunk):
+        assert coll.all_gather_seconds(net(), [chunk]) == 0.0
+        assert coll.all_gather_volume_bytes([chunk]) == 0.0
+        assert coll.all_reduce_seconds(net(), chunk, 1) == 0.0
+        assert coll.all_reduce_volume_bytes(chunk, 1) == 0.0
+
+    def test_zero_participants_rejected_everywhere(self):
+        for call in (
+            lambda: coll.all_gather_seconds(net(), []),
+            lambda: coll.all_gather_volume_bytes([]),
+            lambda: coll.all_reduce_seconds(net(), 1e6, 0),
+            lambda: coll.broadcast_seconds(net(), 1e6, 0),
+            lambda: coll.gather_seconds(net(), []),
+        ):
+            with pytest.raises(ValueError):
+                call()
+
+    def test_single_part_allgather_is_identity(self):
+        x = np.arange(12.0).reshape(3, 4)
+        np.testing.assert_array_equal(coll.all_gather_arrays([x]), x)
+        np.testing.assert_array_equal(coll.all_reduce_arrays([x]), x)
+
+
+array_shapes = st.tuples(st.integers(2, 24), st.integers(1, 8))
+
+
+class TestRoundTripIdentity:
+    """Split → all-gather must reproduce the original tensor exactly, for
+    any (non-uniform) split — the data-plane invariant every execution
+    path's correctness rests on."""
+
+    @given(shape=array_shapes, k=st.integers(1, 6), seed=st.integers(0, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_split_allgather_roundtrip(self, shape, k, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape).astype(np.float32)
+        parts = np.array_split(x, min(k, shape[0]), axis=0)  # non-uniform when k ∤ n
+        np.testing.assert_array_equal(coll.all_gather_arrays(parts, axis=0), x)
+
+    @given(shape=array_shapes, seed=st.integers(0, 1000), cut=st.integers(0, 8))
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_cut_roundtrip_on_feature_axis(self, shape, seed, cut):
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal(shape).astype(np.float32)
+        split = min(cut, shape[1])
+        parts = [x[:, :split], x[:, split:]]
+        np.testing.assert_array_equal(coll.all_gather_arrays(parts, axis=1), x)
+
+    @given(shape=array_shapes, k=st.integers(1, 6), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_allreduce_of_partials_matches_dense_sum(self, shape, k, seed):
+        rng = np.random.default_rng(seed)
+        partials = [rng.standard_normal(shape) for _ in range(k)]
+        reduced = coll.all_reduce_arrays(partials)
+        np.testing.assert_allclose(reduced, np.sum(partials, axis=0), rtol=1e-12)
+
+    def test_allreduce_does_not_alias_its_first_input(self):
+        a, b = np.ones((2, 2)), np.ones((2, 2))
+        coll.all_reduce_arrays([a, b])
+        np.testing.assert_array_equal(a, np.ones((2, 2)))
+
+    def test_allreduce_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError, match="shape"):
+            coll.all_reduce_arrays([np.ones((2, 2)), np.ones((3, 2))])

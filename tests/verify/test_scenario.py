@@ -1,0 +1,101 @@
+"""Scenario sampling: determinism, serialisation, construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import LayerSchedule
+from repro.verify import (
+    ScenarioConfig,
+    build_cluster,
+    build_input,
+    build_model,
+    build_scheme,
+    sample_scenario,
+)
+
+
+class TestSamplerDeterminism:
+    def test_same_seed_same_scenario(self):
+        assert sample_scenario(41) == sample_scenario(41)
+
+    def test_different_seeds_differ_somewhere(self):
+        configs = [sample_scenario(seed) for seed in range(20)]
+        assert len({c.label for c in configs}) > 1
+
+    def test_sampled_configs_are_valid(self):
+        for seed in range(50):
+            config = sample_scenario(seed)  # __post_init__ validates
+            assert config.seed == seed
+            assert 1 <= config.devices <= 5
+            assert len(config.device_gflops) == config.devices
+
+    def test_sampler_covers_the_whole_space(self):
+        configs = [sample_scenario(seed) for seed in range(120)]
+        assert {c.family for c in configs} == {"bert", "gpt2", "vit"}
+        assert {c.wire_dtype for c in configs} == {"float32", "float16", "int8"}
+        assert {c.scheme_kind for c in configs} == {"even", "proportional", "auto", "schedule"}
+        assert any(c.failures for c in configs)
+        assert any(len(set(c.device_gflops)) > 1 for c in configs)
+
+
+class TestSerialisation:
+    def test_dict_roundtrip(self):
+        for seed in range(25):
+            config = sample_scenario(seed)
+            assert ScenarioConfig.from_dict(config.to_dict()) == config
+
+    def test_roundtrip_is_json_safe(self):
+        import json
+
+        config = sample_scenario(3)
+        rebuilt = ScenarioConfig.from_dict(json.loads(json.dumps(config.to_dict())))
+        assert rebuilt == config
+
+
+class TestValidation:
+    def test_rejects_unknown_family(self):
+        with pytest.raises(ValueError, match="family"):
+            ScenarioConfig(seed=0, family="t5")
+
+    def test_rejects_speed_count_mismatch(self):
+        with pytest.raises(ValueError, match="speeds"):
+            ScenarioConfig(seed=0, devices=3, device_gflops=(1.0,))
+
+    def test_rejects_failure_outside_deployment(self):
+        with pytest.raises(ValueError, match="failure"):
+            ScenarioConfig(seed=0, devices=2, device_gflops=(1.0, 1.0),
+                           num_layers=2, failures=((5, 0),))
+
+    def test_rejects_schedule_without_ratios(self):
+        with pytest.raises(ValueError, match="schedule"):
+            ScenarioConfig(seed=0, scheme_kind="schedule")
+
+
+class TestConstruction:
+    def test_model_weights_are_seed_deterministic(self):
+        config = sample_scenario(9)
+        a, b = build_model(config), build_model(config)
+        raw = build_input(config, a)
+        np.testing.assert_array_equal(a.forward(raw), b.forward(raw))
+
+    def test_input_matches_declared_seq_len(self):
+        for seed in range(15):
+            config = sample_scenario(seed)
+            model = build_model(config)
+            assert model.sequence_length(build_input(config, model)) == config.seq_len
+
+    def test_cluster_matches_config(self):
+        config = sample_scenario(4)
+        cluster = build_cluster(config)
+        assert cluster.num_devices == config.devices
+        assert tuple(cluster.device_gflops) == config.device_gflops
+
+    def test_schedule_scheme_builds_layer_schedule(self):
+        config = ScenarioConfig(
+            seed=0, devices=2, device_gflops=(1.0, 2.0), num_layers=2,
+            scheme_kind="schedule",
+            schedule_ratios=((0.5, 0.5), (0.25, 0.75)),
+        )
+        schedule = build_scheme(config)
+        assert isinstance(schedule, LayerSchedule)
+        assert schedule.scheme_for_layer(1).ratios == (0.25, 0.75)
