@@ -14,6 +14,8 @@ Usage::
     voltage-bench all --json out/   # everything, plus JSON dumps
     voltage-bench verify --seeds 25 # differential conformance fuzzing
     voltage-bench verify --replay 7 # re-run one scenario by its seed
+    voltage-bench perf              # allocation-aware perf suite -> BENCH_perf.json
+    voltage-bench perf --quick --check  # CI smoke lane with regression gate
 
 Any invocation accepts ``--trace OUT.json`` to capture the run as a Chrome
 ``trace_event`` timeline (open in Perfetto / ``chrome://tracing``): every
@@ -124,6 +126,41 @@ def _run_verify(args) -> int:
     return 0 if report.ok else 1
 
 
+def _run_perf(args) -> int:
+    """Allocation-aware perf suite (``repro.bench.perf``)."""
+    from repro.bench import perf
+    from repro.bench.harness import format_aligned
+
+    mode = "quick" if args.quick else "full"
+    print(f"perf: running {mode} suite (this times real workloads) ...")
+    payload = perf.run_perf_suite(quick=args.quick)
+
+    rows = [["workload", "median", "peak alloc"]]
+    for name, wl in payload["workloads"].items():
+        rows.append([
+            name,
+            f"{wl['median_s'] * 1e3:.1f} ms",
+            f"{wl['tracemalloc_peak_bytes'] / 1e6:.1f} MB",
+        ])
+    print(format_aligned(rows))
+    derived = payload["derived"]
+    print(
+        f"cached decode vs legacy: {derived['cached_decode_speedup_vs_legacy']:.1f}x faster, "
+        f"{derived['cached_decode_peak_drop_vs_legacy']:.1f}x lower peak allocation"
+    )
+
+    failures = []
+    if args.check:
+        failures = perf.check_regression(payload, mode, args.baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print(f"check: within {perf.REGRESSION_FACTOR:g}x of {args.baseline}")
+    perf.emit_report(payload, mode, args.output)
+    print(f"report: {args.output} (mode {mode!r})")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="voltage-bench",
@@ -132,7 +169,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig4", "fig5", "fig6", "comm", "ablations", "serving", "profile",
-                 "headline", "verify", "all"],
+                 "headline", "verify", "perf", "all"],
         help="which experiment to run",
     )
     parser.add_argument("--layers", type=int, default=4,
@@ -159,9 +196,20 @@ def main(argv: list[str] | None = None) -> int:
                              "every conformance check")
     parser.add_argument("--no-shrink", action="store_true",
                         help="verify: skip minimising failing configs")
+    parser.add_argument("--quick", action="store_true",
+                        help="perf: smaller workloads for the CI smoke lane")
+    parser.add_argument("--check", action="store_true",
+                        help="perf: fail if the cached-decode speedup regresses "
+                             ">2x vs the committed baseline")
+    parser.add_argument("--output", type=Path, default=Path("BENCH_perf.json"),
+                        help="perf: report file to write/merge (default BENCH_perf.json)")
+    parser.add_argument("--baseline", type=Path, default=Path("BENCH_perf.json"),
+                        help="perf: committed baseline to --check against")
     args = parser.parse_args(argv)
     if args.target == "verify":
         return _run_verify(args)
+    if args.target == "perf":
+        return _run_perf(args)
     if args.trace is not None and (not args.trace.name or args.trace.is_dir()):
         parser.error("--trace requires an output file path, e.g. --trace out.json")
 

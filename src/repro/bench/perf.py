@@ -1,0 +1,304 @@
+"""Allocation-aware perf-regression suite (``repro.bench perf``).
+
+Times three pinned workloads with warmup/repeat/median methodology and
+``tracemalloc`` peak tracking, and emits ``BENCH_perf.json`` so every PR has
+a perf trajectory:
+
+- ``gpt2_cached_decode`` — greedy 64-token KV-cached decode on a scaled
+  GPT-2 (the hot path this repo optimises), plus a pinned **legacy**
+  re-implementation of the pre-optimisation path (concatenate-per-append
+  cache, three separate Q/K/V projections, the ``np.sqrt`` float64 upcast)
+  so the speedup ratio is computed *in-run* and therefore host-independent;
+- ``bert_single_pass`` — one full forward over a BERT-Large prefix, the
+  paper's actual measured workload;
+- ``voltage_threaded_layer`` — Algorithm 2 on 4 real threaded workers,
+  exercising the buffer-reusing collectives.
+
+Regression gating (``--check``) compares the in-run
+``cached_decode_speedup_vs_legacy`` ratio against the committed baseline's
+ratio rather than absolute seconds — CI runners and laptops differ in clock
+speed, but the optimised/legacy ratio on the *same* host is stable.
+
+The report file groups one payload per mode (``full``/``quick``) under
+``modes`` and re-emitting one mode preserves the other, so a single
+committed ``BENCH_perf.json`` serves both the local full suite and the CI
+quick lane.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+import tracemalloc
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.orders import merge_heads, split_heads
+from repro.tensor import functional as F
+
+__all__ = ["SCHEMA", "run_perf_suite", "emit_report", "check_regression"]
+
+SCHEMA = "repro-bench-perf/v1"
+REGRESSION_FACTOR = 2.0  # CI fails when the speedup ratio halves
+
+
+# -- legacy (pre-optimisation) cached decode, pinned as the in-run reference --
+
+
+class _LegacyLayerKVCache:
+    """The pre-optimisation cache: re-concatenates the history per append."""
+
+    def __init__(self) -> None:
+        self.k: np.ndarray | None = None
+        self.v: np.ndarray | None = None
+
+    @property
+    def length(self) -> int:
+        return 0 if self.k is None else self.k.shape[1]
+
+    def append(self, k_new: np.ndarray, v_new: np.ndarray):
+        if self.k is None:
+            self.k, self.v = k_new, v_new
+        else:
+            self.k = np.concatenate([self.k, k_new], axis=1)
+            self.v = np.concatenate([self.v, v_new], axis=1)
+        return self.k, self.v
+
+
+def _legacy_layer_forward_cached(layer, x_new, cache):
+    """Pre-optimisation hot path: three skinny projections, per-op
+    allocations, and the ``np.sqrt(int)`` strong scalar that upcast the
+    whole downstream computation to float64."""
+    attention = layer.attention
+    offset = cache.length
+    t = x_new.shape[0]
+    attn_input = x_new if layer.config.norm_style == "post" else layer.ln1(x_new)
+    q = split_heads(attention.query(attn_input), attention.num_heads)
+    k_new = split_heads(attention.key(attn_input), attention.num_heads)
+    v_new = split_heads(attention.value(attn_input), attention.num_heads)
+    k_all, v_all = cache.append(k_new, v_new)
+    scores = q @ k_all.transpose(0, 2, 1) / np.sqrt(attention.head_dim)
+    mask = F.causal_mask(t, k_all.shape[1], offset=offset)
+    scores = np.where(mask, -1e30, scores)
+    attended = merge_heads(F.softmax(scores, axis=-1) @ v_all)
+    projected = attention.output(attended)
+    if layer.config.norm_style == "post":
+        y = layer.ln1(projected + x_new)
+        return layer.ln2(y + layer.ffn(y))
+    y = x_new + projected
+    return y + layer.ffn(layer.ln2(y))
+
+
+def _legacy_generate_cached(model, prompt_ids, max_new_tokens):
+    """Pre-optimisation ``GPT2Model.generate_cached`` (same greedy loop)."""
+    ids = list(np.asarray(prompt_ids))
+    caches = [_LegacyLayerKVCache() for _ in range(model.num_layers)]
+
+    def step(new_ids, offset):
+        positions = np.arange(offset, offset + len(new_ids))
+        x = model.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+        x = x + model.embeddings.position(positions)
+        for layer, cache in zip(model.layers, caches):
+            x = _legacy_layer_forward_cached(layer, x, cache)
+        logits = model.ln_f(x[-1]) @ model.embeddings.word.weight.data.T
+        return int(np.argmax(logits))
+
+    next_id = step(ids, 0)
+    for _ in range(max_new_tokens):
+        if len(ids) >= model.config.max_positions:
+            break
+        ids.append(next_id)
+        if len(ids) >= model.config.max_positions:
+            break
+        next_id = step([ids[-1]], len(ids) - 1)
+    return np.asarray(ids, dtype=np.int64)
+
+
+# -- measurement primitives ---------------------------------------------------
+
+
+def _time_samples(fn, repeats: int, warmup: int) -> list[float]:
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
+
+
+def _tracemalloc_peak(fn) -> int:
+    """Peak traced allocation of one call (run separately from the timing
+    passes — tracing skews wall clock)."""
+    tracemalloc.start()
+    try:
+        fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return int(peak)
+
+
+def _workload(samples: list[float], peak: int, **meta) -> dict:
+    return {
+        "median_s": statistics.median(samples),
+        "samples_s": samples,
+        "tracemalloc_peak_bytes": peak,
+        "meta": meta,
+    }
+
+
+# -- the pinned workloads -----------------------------------------------------
+
+
+def _bench_gpt2_cached_decode(quick: bool) -> tuple[dict, dict]:
+    from repro.models import GPT2Model
+    from repro.models.config import gpt2_config
+
+    num_layers = 2 if quick else 4
+    prompt_len = 8 if quick else 32
+    new_tokens = 16 if quick else 64
+    config = gpt2_config().scaled(num_layers=num_layers)
+    model = GPT2Model(config, rng=np.random.default_rng(0))
+    prompt = np.random.default_rng(1).integers(0, config.vocab_size, size=prompt_len)
+    meta = dict(
+        model="gpt2", num_layers=num_layers, prompt_tokens=prompt_len,
+        new_tokens=new_tokens, vocab_size=config.vocab_size,
+    )
+
+    def optimized():
+        return model.generate_cached(prompt, max_new_tokens=new_tokens)
+
+    def legacy():
+        return _legacy_generate_cached(model, prompt, max_new_tokens=new_tokens)
+
+    np.testing.assert_array_equal(optimized(), legacy())  # same tokens, also warmup
+    opt = _workload(
+        _time_samples(optimized, repeats=3, warmup=0),
+        _tracemalloc_peak(optimized), **meta,
+    )
+    # the legacy path is deliberately slow — one timing and one tracing run
+    leg = _workload(
+        _time_samples(legacy, repeats=1, warmup=0),
+        _tracemalloc_peak(legacy), **meta, reference="pre-optimisation hot path",
+    )
+    return opt, leg
+
+
+def _bench_bert_single_pass(quick: bool) -> dict:
+    from repro.bench.workloads import random_text
+    from repro.models import BertModel, bert_large_config
+
+    num_layers = 2 if quick else 8
+    n_words = 64 if quick else 200
+    config = bert_large_config().scaled(num_layers=num_layers)
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    ids = model.encode_text(random_text(n_words))
+
+    def forward():
+        return model.forward(ids)
+
+    samples = _time_samples(forward, repeats=3, warmup=1)
+    return _workload(
+        samples, _tracemalloc_peak(forward),
+        model="bert-large", num_layers=num_layers, sequence_length=len(ids),
+    )
+
+
+def _bench_voltage_threaded(quick: bool) -> dict:
+    from repro.bench.workloads import random_text
+    from repro.cluster.spec import ClusterSpec
+    from repro.models import BertModel, bert_large_config
+    from repro.systems.voltage import VoltageSystem
+
+    num_layers = 2 if quick else 4
+    n_words = 48 if quick else 128
+    config = bert_large_config().scaled(num_layers=num_layers)
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    system = VoltageSystem(model, ClusterSpec.homogeneous(4))
+    ids = model.encode_text(random_text(n_words))
+    stats_seen: list = []
+
+    def threaded():
+        _, stats = system.execute_threaded(ids)
+        stats_seen[:] = stats
+
+    samples = _time_samples(threaded, repeats=3, warmup=1)
+    peak = _tracemalloc_peak(threaded)
+    return _workload(
+        samples, peak,
+        model="bert-large", num_layers=num_layers, devices=4,
+        sequence_length=len(ids),
+        buffers_reused=sum(s.buffers_reused for s in stats_seen),
+        bytes_copied=sum(s.bytes_copied for s in stats_seen),
+    )
+
+
+def run_perf_suite(quick: bool = False) -> dict:
+    """Run every workload; returns one mode's report payload."""
+    opt, leg = _bench_gpt2_cached_decode(quick)
+    workloads = {
+        "gpt2_cached_decode": opt,
+        "gpt2_cached_decode_legacy": leg,
+        "bert_single_pass": _bench_bert_single_pass(quick),
+        "voltage_threaded_layer": _bench_voltage_threaded(quick),
+    }
+    derived = {
+        "cached_decode_speedup_vs_legacy": leg["median_s"] / opt["median_s"],
+        "cached_decode_peak_drop_vs_legacy": (
+            leg["tracemalloc_peak_bytes"] / max(opt["tracemalloc_peak_bytes"], 1)
+        ),
+    }
+    return {"workloads": workloads, "derived": derived}
+
+
+# -- report emission + regression gate ----------------------------------------
+
+
+def emit_report(payload: dict, mode: str, path: Path) -> dict:
+    """Write/merge one mode's payload into the report file at ``path``."""
+    doc = {"schema": SCHEMA, "modes": {}}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            existing = None
+        if isinstance(existing, dict) and existing.get("schema") == SCHEMA:
+            doc = existing
+            doc.setdefault("modes", {})
+    doc["modes"][mode] = payload
+    path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def check_regression(
+    payload: dict, mode: str, baseline_path: Path, factor: float = REGRESSION_FACTOR
+) -> list[str]:
+    """Compare this run's speedup ratio against the committed baseline.
+
+    Returns a list of human-readable failures (empty = pass).  The gate is
+    ratio-based so it holds across hosts of different absolute speed.
+    """
+    if not baseline_path.exists():
+        return [f"baseline {baseline_path} does not exist"]
+    try:
+        doc = json.loads(baseline_path.read_text())
+    except json.JSONDecodeError as exc:
+        return [f"baseline {baseline_path} is not valid JSON: {exc}"]
+    if doc.get("schema") != SCHEMA:
+        return [f"baseline schema {doc.get('schema')!r} != {SCHEMA!r}"]
+    base = doc.get("modes", {}).get(mode)
+    if base is None:
+        return [f"baseline {baseline_path} has no {mode!r} mode entry"]
+    base_ratio = base["derived"]["cached_decode_speedup_vs_legacy"]
+    now_ratio = payload["derived"]["cached_decode_speedup_vs_legacy"]
+    errors = []
+    if now_ratio * factor < base_ratio:
+        errors.append(
+            f"cached-decode speedup regressed >{factor:g}x: "
+            f"{now_ratio:.1f}x now vs {base_ratio:.1f}x baseline"
+        )
+    return errors

@@ -38,12 +38,20 @@ class RuntimeError_(RuntimeError):
 
 @dataclass
 class CommStats:
-    """Per-worker traffic counters (ring-equivalent volumes for collectives)."""
+    """Per-worker traffic counters (ring-equivalent volumes for collectives).
+
+    ``bytes_copied`` counts local bytes written into collective output
+    buffers (the memory-traffic cost of materialising results), and
+    ``buffers_reused`` counts collective calls that wrote into a pooled
+    receive buffer instead of allocating a fresh one.
+    """
 
     bytes_sent: float = 0.0
     bytes_received: float = 0.0
     collective_calls: int = 0
     p2p_messages: int = 0
+    bytes_copied: float = 0.0
+    buffers_reused: int = 0
 
     @property
     def total_bytes(self) -> float:
@@ -80,6 +88,36 @@ class WorkerContext:
         self._shared = shared
         self.stats = CommStats()
         self._sequence = 0
+        # Per-rank receive-buffer pool, two generations per (op, shape,
+        # dtype): a collective's result stays valid until the *second*-next
+        # call of the same collective on this rank (the pool alternates), so
+        # the per-layer loops of Voltage / tensor parallelism never allocate
+        # after their first iteration.
+        self._buffers: dict[tuple, list[np.ndarray]] = {}
+
+    def _recv_buffer(
+        self, op: str, shape: tuple[int, ...], dtype, inputs: Sequence[np.ndarray]
+    ) -> np.ndarray:
+        """A pooled output buffer that aliases none of ``inputs``.
+
+        The pool is per-rank (results stay private) and holds at most two
+        buffers per key; the second call of an op allocates its own buffer
+        rather than clobbering the first call's still-live result.
+        """
+        key = (op, shape, np.dtype(dtype))
+        pool = self._buffers.setdefault(key, [])
+        if len(pool) >= 2:
+            for buf in pool:
+                if not any(np.shares_memory(buf, arr) for arr in inputs):
+                    pool.remove(buf)
+                    pool.append(buf)  # most-recently-used goes to the back
+                    self.stats.buffers_reused += 1
+                    return buf
+        buf = np.empty(shape, dtype=dtype)
+        pool.append(buf)
+        if len(pool) > 2:
+            pool.pop(0)
+        return buf
 
     @property
     def world_size(self) -> int:
@@ -108,7 +146,17 @@ class WorkerContext:
             shared.slots[self.rank] = array
             shared.barrier.wait()
             parts = list(shared.slots)
-            result = np.concatenate(parts, axis=axis)
+            dtypes = {p.dtype for p in parts}
+            if len(dtypes) == 1:
+                # write the gathered chunks straight into a pooled output
+                # buffer — no list-concatenate allocation per call
+                shape = list(parts[0].shape)
+                shape[axis] = sum(p.shape[axis] for p in parts)
+                out = self._recv_buffer("all_gather", tuple(shape), parts[0].dtype, parts)
+                result = np.concatenate(parts, axis=axis, out=out)
+                self.stats.bytes_copied += result.nbytes
+            else:  # mixed dtypes: fall back to promoting concatenate
+                result = np.concatenate(parts, axis=axis)
             shared.barrier.wait()  # nobody may overwrite slots until all have read
             total = sum(p.nbytes for p in parts)
             self.stats.bytes_sent += total - array.nbytes
@@ -128,9 +176,19 @@ class WorkerContext:
             shared.slots[self.rank] = array
             shared.barrier.wait()
             arrays = list(shared.slots)
-            out = np.array(arrays[0], copy=True)
-            for arr in arrays[1:]:
-                out = out + arr
+            dtypes = {a.dtype for a in arrays}
+            if len(dtypes) == 1:
+                # accumulate into a pooled buffer, rank-0 first — the same
+                # deterministic summation order as the allocating path
+                out = self._recv_buffer("all_reduce", arrays[0].shape, arrays[0].dtype, arrays)
+                np.copyto(out, arrays[0])
+                for arr in arrays[1:]:
+                    np.add(out, arr, out=out)
+                self.stats.bytes_copied += out.nbytes
+            else:  # mixed dtypes: keep the promoting accumulate semantics
+                out = np.array(arrays[0], copy=True)
+                for arr in arrays[1:]:
+                    out = out + arr
             shared.barrier.wait()
             k = self.world_size
             ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
@@ -159,7 +217,12 @@ class WorkerContext:
             shared.barrier.wait()
             result = shared.slots[root]
             if self.rank != root:
-                result = np.array(result, copy=True)
+                # still a private per-rank copy (the pool is per-rank), but
+                # written into a reused receive buffer
+                out = self._recv_buffer("broadcast", result.shape, result.dtype, (result,))
+                np.copyto(out, result)
+                self.stats.bytes_copied += out.nbytes
+                result = out
             shared.barrier.wait()
             if self.rank == root:
                 self.stats.bytes_sent += result.nbytes * (self.world_size - 1)
@@ -281,6 +344,10 @@ class ThreadedRuntime:
             sum(s.collective_calls for s in stats)
         )
         registry.counter("runtime.p2p_messages").inc(sum(s.p2p_messages for s in stats))
+        registry.counter("runtime.bytes_copied").inc(sum(s.bytes_copied for s in stats))
+        registry.counter("runtime.buffers_reused").inc(
+            sum(s.buffers_reused for s in stats)
+        )
         per_worker = registry.histogram("runtime.worker_total_bytes")
         for s in stats:
             per_worker.observe(s.total_bytes)

@@ -197,8 +197,11 @@ def _bias_correction(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> 
     if params.bq is None and params.bk is None:
         return np.float32(0.0)
     h, head_dim = params.num_heads, params.head_dim
-    bq = params.bq.reshape(h, head_dim) if params.bq is not None else np.zeros((h, head_dim))
-    bk = params.bk.reshape(h, head_dim) if params.bk is not None else np.zeros((h, head_dim))
+    # zeros() must match the weight dtype — a bare np.zeros is float64 and
+    # would silently upcast float32 scores when only one bias is present
+    dt = params.wq.dtype
+    bq = params.bq.reshape(h, head_dim) if params.bq is not None else np.zeros((h, head_dim), dt)
+    bk = params.bk.reshape(h, head_dim) if params.bk is not None else np.zeros((h, head_dim), dt)
     wq_heads = params.weights_by_head("q")
     wk_heads = params.weights_by_head("k")
     # b_Q (x W_K)^T : (H, 1, N) broadcast over query rows

@@ -50,6 +50,75 @@ class MultiHeadSelfAttention(Module):
         self.key = Linear(hidden_size, proj_width, rng=rng, bias=bias)
         self.value = Linear(hidden_size, proj_width, rng=rng, bias=bias)
         self.output = Linear(proj_width, hidden_size, rng=rng, bias=bias)
+        self._qkv_cache: tuple | None = None
+        self._fuse_qkv_storage()
+
+    def _fuse_qkv_storage(self) -> None:
+        """Re-home Q/K/V weights into one ``(F, 3·H·F_H)`` buffer.
+
+        The three projection parameters become column views of a single
+        fused matrix, so a decode step computes Q, K and V with *one* GEMM
+        (``x @ W_QKV``) instead of three skinny ones, while every existing
+        consumer (``attention_params``, tensor-parallel sharding, pruning)
+        keeps seeing three ``(F, H·F_H)`` arrays.  In-place weight edits flow
+        through the views; rebinding ``weight.data`` wholesale is detected by
+        identity in :meth:`_fused_qkv` and triggers a re-fuse.
+        """
+        proj_width = self.num_heads * self.head_dim
+        fused_w = np.concatenate(
+            [self.query.weight.data, self.key.weight.data, self.value.weight.data], axis=1
+        )
+        self.query.weight.data = fused_w[:, :proj_width]
+        self.key.weight.data = fused_w[:, proj_width : 2 * proj_width]
+        self.value.weight.data = fused_w[:, 2 * proj_width :]
+        fused_b = None
+        if self.query.bias is not None:
+            fused_b = np.concatenate(
+                [self.query.bias.data, self.key.bias.data, self.value.bias.data]
+            )
+            self.query.bias.data = fused_b[:proj_width]
+            self.key.bias.data = fused_b[proj_width : 2 * proj_width]
+            self.value.bias.data = fused_b[2 * proj_width :]
+        self._qkv_cache = (
+            self.query.weight.data,
+            self.key.weight.data,
+            self.value.weight.data,
+            fused_w,
+            fused_b,
+        )
+
+    def _fused_qkv(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """The fused ``(F, 3·H·F_H)`` weight (and bias), re-fused if stale.
+
+        Staleness means some consumer rebound ``weight.data`` to a fresh
+        array (``Parameter.copy_``, checkpoint loading, tests).  Re-fusing
+        also re-homes the parameters as views again, so later in-place edits
+        keep the fused buffer coherent.
+        """
+        cached = self._qkv_cache
+        if (
+            cached is not None
+            and cached[0] is self.query.weight.data
+            and cached[1] is self.key.weight.data
+            and cached[2] is self.value.weight.data
+        ):
+            return cached[3], cached[4]
+        self._fuse_qkv_storage()
+        return self._qkv_cache[3], self._qkv_cache[4]
+
+    def qkv_projection(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        """Fused ``x @ W_QKV + b_QKV`` → ``(N, 3·H·F_H)``, Q/K/V side by side.
+
+        Column blocks ``[0:W)``, ``[W:2W)``, ``[2W:3W)`` (``W = H·F_H``) are
+        exactly ``query(x)``, ``key(x)``, ``value(x)`` — one fat GEMM instead
+        of three (identical FLOPs, one output allocation, better BLAS
+        efficiency at decode-step widths).
+        """
+        w, b = self._fused_qkv()
+        out = np.matmul(x, w, out=out) if out is not None else x @ w
+        if b is not None:
+            np.add(out, b, out=out)
+        return out
 
     def attention_params(self) -> AttentionParams:
         """Zero-copy view of the Q/K/V projections for the order executors."""

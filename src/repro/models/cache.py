@@ -7,12 +7,22 @@ then projects only the *new* positions and attends them against the cached
 keys/values — position-wise partitioning still applies to everything the
 cache does not already cover.
 
+Allocation behaviour (INTERNALS §9): the cache owns one preallocated
+``(H, capacity, F_H)`` buffer per tensor, grown geometrically, so a T-token
+decode performs O(T) element writes instead of the O(T²) copies of a
+concatenate-per-append scheme.  ``append`` always copies the new positions
+in and returns *views* of the cached prefix; callers that need the hidden
+states to outlive the next ``append`` must copy.  Callers that know the
+final sequence length up front (e.g. ``generate_cached``) should pass a
+``capacity`` hint so the buffers are allocated exactly once.
+
 Works for both normalisation placements; only causal layers may use a cache
 (bidirectional layers would need future tokens that do not exist yet).
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -20,34 +30,103 @@ import numpy as np
 from repro.core.orders import merge_heads, split_heads
 from repro.models.layer import TransformerLayer
 from repro.tensor import functional as F
+from repro.tensor.workspace import Workspace
 
-__all__ = ["LayerKVCache", "KVCache", "layer_forward_cached"]
+__all__ = [
+    "LayerKVCache",
+    "KVCache",
+    "layer_forward_cached",
+    "DecoderLayerKVCache",
+    "decoder_layer_forward_cached",
+]
 
 
-@dataclass
 class LayerKVCache:
-    """One layer's cached key/value tensors, ``(H, T, F_H)`` each."""
+    """One layer's cached key/value tensors, ``(H, T, F_H)`` each.
 
-    k: np.ndarray | None = None
-    v: np.ndarray | None = None
+    ``capacity`` pre-sizes the backing buffers (in positions); without it the
+    first append sizes them and later growth doubles, so appends stay
+    amortised O(1) allocations either way.  ``allocations`` counts backing
+    (re)allocations — the perf tests pin it to 1 when a hint is given.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self._k_buf: np.ndarray | None = None
+        self._v_buf: np.ndarray | None = None
+        self._length = 0
+        self._capacity_hint = capacity
+        self.allocations = 0
+
+    @property
+    def k(self) -> np.ndarray | None:
+        """View of the cached keys, ``(H, length, F_H)``; None before first append."""
+        return None if self._k_buf is None else self._k_buf[:, : self._length]
+
+    @property
+    def v(self) -> np.ndarray | None:
+        """View of the cached values, ``(H, length, F_H)``; None before first append."""
+        return None if self._v_buf is None else self._v_buf[:, : self._length]
 
     @property
     def length(self) -> int:
-        return 0 if self.k is None else self.k.shape[1]
+        return self._length
+
+    @property
+    def capacity(self) -> int:
+        """Positions the backing buffers can hold without reallocating."""
+        return 0 if self._k_buf is None else self._k_buf.shape[1]
+
+    def reserve(self, capacity: int) -> None:
+        """Ensure room for ``capacity`` positions (allocates at most once)."""
+        if self._k_buf is None:
+            self._capacity_hint = max(capacity, self._capacity_hint or 0)
+        elif self._k_buf.shape[1] < capacity:
+            self._grow(capacity)
+
+    def _grow(self, needed: int) -> None:
+        new_cap = max(needed, 2 * self._k_buf.shape[1])
+        k_buf = np.empty(
+            (self._k_buf.shape[0], new_cap, self._k_buf.shape[2]), dtype=self._k_buf.dtype
+        )
+        v_buf = np.empty_like(k_buf)
+        k_buf[:, : self._length] = self._k_buf[:, : self._length]
+        v_buf[:, : self._length] = self._v_buf[:, : self._length]
+        self._k_buf, self._v_buf = k_buf, v_buf
+        self.allocations += 1
 
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Extend the cache; returns the full (cached + new) K and V."""
+        """Copy new positions into the cache; returns views of the full K and V.
+
+        The returned views are valid until the next ``append`` (growth may
+        rebind the backing buffers).
+        """
         if k_new.shape != v_new.shape:
             raise ValueError(f"K/V shapes disagree: {k_new.shape} vs {v_new.shape}")
-        if self.k is None:
-            self.k, self.v = k_new, v_new
+        if k_new.dtype != v_new.dtype:
+            raise ValueError(f"K/V dtypes disagree: {k_new.dtype} vs {v_new.dtype}")
+        t = k_new.shape[1]
+        if self._k_buf is None:
+            cap = max(self._length + t, self._capacity_hint or 0)
+            self._k_buf = np.empty((k_new.shape[0], cap, k_new.shape[2]), dtype=k_new.dtype)
+            self._v_buf = np.empty_like(self._k_buf)
+            self.allocations += 1
         else:
-            if k_new.shape[0] != self.k.shape[0] or k_new.shape[2] != self.k.shape[2]:
+            if (
+                k_new.shape[0] != self._k_buf.shape[0]
+                or k_new.shape[2] != self._k_buf.shape[2]
+            ):
                 raise ValueError(
                     f"cache geometry mismatch: cached {self.k.shape}, new {k_new.shape}"
                 )
-            self.k = np.concatenate([self.k, k_new], axis=1)
-            self.v = np.concatenate([self.v, v_new], axis=1)
+            if k_new.dtype != self._k_buf.dtype:
+                raise ValueError(
+                    f"cache dtype mismatch: cached {self._k_buf.dtype}, new {k_new.dtype}"
+                )
+            if self._length + t > self._k_buf.shape[1]:
+                self._grow(self._length + t)
+        self._k_buf[:, self._length : self._length + t] = k_new
+        self._v_buf[:, self._length : self._length + t] = v_new
+        self._length += t
         return self.k, self.v
 
 
@@ -58,8 +137,9 @@ class KVCache:
     layers: list[LayerKVCache] = field(default_factory=list)
 
     @classmethod
-    def empty(cls, num_layers: int) -> "KVCache":
-        return cls(layers=[LayerKVCache() for _ in range(num_layers)])
+    def empty(cls, num_layers: int, capacity: int | None = None) -> "KVCache":
+        """``capacity`` (final sequence length, if known) pre-sizes every layer."""
+        return cls(layers=[LayerKVCache(capacity=capacity) for _ in range(num_layers)])
 
     @property
     def length(self) -> int:
@@ -67,8 +147,65 @@ class KVCache:
         return self.layers[0].length if self.layers else 0
 
 
+def _cached_attention(
+    attention,
+    attn_input: np.ndarray,
+    cache: LayerKVCache,
+    offset: int,
+    causal: bool,
+    workspace: Workspace | None,
+) -> np.ndarray:
+    """Core cached attention: project QKV fused, extend cache, attend.
+
+    Returns the merged ``(t, H·F_H)`` attended tensor (before the output
+    projection).  All large intermediates (fused QKV, score matrix, per-head
+    attended tensor) live in the workspace when one is supplied; the return
+    value is a fresh array either way (``merge_heads`` copies), so it may
+    safely outlive the next workspace request.
+    """
+    t = attn_input.shape[0]
+    heads = attention.num_heads
+    width = heads * attention.head_dim
+    dt = np.result_type(attn_input.dtype, attention.query.weight.data.dtype)
+
+    if workspace is not None and attn_input.dtype == dt:
+        qkv = attention.qkv_projection(attn_input, out=workspace.take("qkv", (t, 3 * width), dt))
+    else:
+        qkv = attention.qkv_projection(attn_input)
+    q = split_heads(qkv[:, :width], heads)
+    k_new = split_heads(qkv[:, width : 2 * width], heads)
+    v_new = split_heads(qkv[:, 2 * width :], heads)
+    k_all, v_all = cache.append(k_new, v_new)
+    total = k_all.shape[1]
+
+    # math.sqrt (a weak Python float under NEP 50) keeps float32 hidden
+    # states float32; np.sqrt(int) is a strong float64 scalar that silently
+    # upcast every downstream tensor — including the LM-head matmul.
+    scale = math.sqrt(attention.head_dim)
+    if workspace is not None:
+        scores = np.matmul(
+            q, k_all.transpose(0, 2, 1), out=workspace.take("scores", (heads, t, total), dt)
+        )
+    else:
+        scores = q @ k_all.transpose(0, 2, 1)
+    np.divide(scores, scale, out=scores)
+    if causal:
+        scores[:, F.causal_mask(t, total, offset=offset)] = -1e30
+    F.softmax(scores, axis=-1, out=scores)
+    if workspace is not None:
+        attended = np.matmul(
+            scores, v_all, out=workspace.take("attended", (heads, t, attention.head_dim), dt)
+        )
+    else:
+        attended = scores @ v_all
+    return merge_heads(attended)
+
+
 def layer_forward_cached(
-    layer: TransformerLayer, x_new: np.ndarray, cache: LayerKVCache
+    layer: TransformerLayer,
+    x_new: np.ndarray,
+    cache: LayerKVCache,
+    workspace: Workspace | None = None,
 ) -> np.ndarray:
     """One causal layer over the ``t`` newest positions, reusing the cache.
 
@@ -77,23 +214,18 @@ def layer_forward_cached(
     exactly those positions and extends the cache in place.  Equivalent to
     ``layer.forward(full_x)[-t:]`` (asserted by the tests), at
     O(t·F²  + t·T·F) cost instead of O(T·F² + T²·F).
+
+    ``workspace`` (optional, shared across layers and decode steps) backs
+    the large per-step intermediates so a steady-state step allocates only
+    its small ``(t, F)`` outputs.
     """
     if not layer.config.is_causal:
         raise ValueError("KV caching requires a causal layer")
     attention = layer.attention
     offset = cache.length
-    t = x_new.shape[0]
 
     attn_input = x_new if layer.config.norm_style == "post" else layer.ln1(x_new)
-    q = split_heads(attention.query(attn_input), attention.num_heads)
-    k_new = split_heads(attention.key(attn_input), attention.num_heads)
-    v_new = split_heads(attention.value(attn_input), attention.num_heads)
-    k_all, v_all = cache.append(k_new, v_new)
-
-    scores = q @ k_all.transpose(0, 2, 1) / np.sqrt(attention.head_dim)
-    mask = F.causal_mask(t, k_all.shape[1], offset=offset)
-    scores = np.where(mask, -1e30, scores)
-    attended = merge_heads(F.softmax(scores, axis=-1) @ v_all)
+    attended = _cached_attention(attention, attn_input, cache, offset, True, workspace)
     projected = attention.output(attended)
 
     if layer.config.norm_style == "post":
@@ -101,3 +233,51 @@ def layer_forward_cached(
         return layer.ln2(y + layer.ffn(y))
     y = x_new + projected
     return y + layer.ffn(layer.ln2(y))
+
+
+class DecoderLayerKVCache:
+    """Per-decoder-layer cache: self-attention K/V plus memoised cross K/V.
+
+    The encoder memory is fixed for a whole translation, so its cross
+    K/V projections are computed once on the first step and reused — the
+    cached decode then never touches the memory again.
+    """
+
+    def __init__(self, capacity: int | None = None):
+        self.self_cache = LayerKVCache(capacity=capacity)
+        self.memory_k: np.ndarray | None = None
+        self.memory_v: np.ndarray | None = None
+
+    @property
+    def length(self) -> int:
+        return self.self_cache.length
+
+
+def decoder_layer_forward_cached(
+    layer,
+    x_new: np.ndarray,
+    memory: np.ndarray,
+    cache: DecoderLayerKVCache,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """One post-LN decoder layer (self-attn + cross-attn + FFN) over ``t`` new
+    positions, reusing the cache.  Equivalent to
+    ``layer.forward(full_x, memory)[-t:]`` (asserted by the tests).
+    """
+    self_attn = layer.self_attention
+    cross_attn = layer.cross_attention
+    offset = cache.self_cache.length
+
+    attended = _cached_attention(self_attn, x_new, cache.self_cache, offset, True, workspace)
+    y1 = layer.ln1(self_attn.output(attended) + x_new)
+
+    if cache.memory_k is None:
+        cache.memory_k = split_heads(cross_attn.key(memory), cross_attn.num_heads)
+        cache.memory_v = split_heads(cross_attn.value(memory), cross_attn.num_heads)
+    q = split_heads(cross_attn.query(y1), cross_attn.num_heads)
+    scores = q @ cache.memory_k.transpose(0, 2, 1)
+    np.divide(scores, math.sqrt(cross_attn.head_dim), out=scores)
+    F.softmax(scores, axis=-1, out=scores)
+    crossed = merge_heads(scores @ cache.memory_v)
+    y2 = layer.ln2(cross_attn.output(crossed) + y1)
+    return layer.ln3(y2 + layer.ffn(y2))

@@ -81,16 +81,21 @@ class GPT2Model(TransformerModel):
         tests) while projecting each position only once per layer.
         """
         from repro.models.cache import KVCache, layer_forward_cached
+        from repro.tensor.workspace import Workspace
 
         ids = list(np.asarray(prompt_ids))
-        cache = KVCache.empty(self.num_layers)
+        # Final sequence length is known up front → size every layer's cache
+        # exactly once; one workspace backs the scratch of all layers/steps.
+        capacity = min(len(ids) + max_new_tokens, self.config.max_positions)
+        cache = KVCache.empty(self.num_layers, capacity=capacity)
+        workspace = Workspace()
 
         def step(new_ids: list[int], offset: int) -> int:
             positions = np.arange(offset, offset + len(new_ids))
             x = self.embeddings.word(np.asarray(new_ids, dtype=np.int64))
             x = x + self.embeddings.position(positions)
             for layer, layer_cache in zip(self.layers, cache.layers):
-                x = layer_forward_cached(layer, x, layer_cache)
+                x = layer_forward_cached(layer, x, layer_cache, workspace=workspace)
             logits = self.ln_f(x[-1]) @ self.embeddings.word.weight.data.T
             return int(np.argmax(logits))
 

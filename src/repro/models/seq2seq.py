@@ -200,3 +200,36 @@ class Seq2SeqTransformer(Module):
             if next_id == eos:
                 break
         return np.asarray(ids, dtype=np.int64)
+
+    def greedy_translate_cached(
+        self, src_ids: np.ndarray, bos: int = 1, eos: int = 2, max_length: int = 16
+    ) -> np.ndarray:
+        """Greedy decoding with per-layer KV caches: each target position is
+        embedded and projected exactly once, and the encoder memory's cross
+        K/V are computed once per layer.  Emits the same tokens as
+        :meth:`greedy_translate` (asserted by the tests).
+        """
+        from repro.models.cache import DecoderLayerKVCache, decoder_layer_forward_cached
+        from repro.tensor.workspace import Workspace
+
+        memory = self.encode(src_ids)
+        caches = [DecoderLayerKVCache(capacity=max_length) for _ in self.decoder]
+        workspace = Workspace()
+        emb = self.tgt_embeddings
+
+        def step(token_id: int, position: int) -> int:
+            x = emb.word(np.asarray([token_id], dtype=np.int64))
+            x = x + emb.position(np.asarray([position]))
+            if emb.layer_norm is not None:
+                x = emb.layer_norm(x)
+            for layer, cache in zip(self.decoder, caches):
+                x = decoder_layer_forward_cached(layer, x, memory, cache, workspace=workspace)
+            return int(np.argmax(self.generator(x[-1])))
+
+        ids = [bos]
+        for _ in range(max_length - 1):
+            next_id = step(ids[-1], len(ids) - 1)
+            ids.append(next_id)
+            if next_id == eos:
+                break
+        return np.asarray(ids, dtype=np.int64)

@@ -25,6 +25,7 @@ from repro.tensor.serialization import (
 )
 from repro.tensor.layers import Embedding, LayerNorm, Linear
 from repro.tensor.module import Module, Parameter
+from repro.tensor.workspace import Workspace
 
 DEFAULT_DTYPE = "float32"
 
@@ -39,6 +40,7 @@ __all__ = [
     "Linear",
     "Module",
     "Parameter",
+    "Workspace",
     "functional",
     "init",
 ]

@@ -1,9 +1,20 @@
 """Numerically stable functional building blocks for transformer inference.
 
-All functions are pure: they take and return ``numpy.ndarray`` objects and
-never mutate their inputs.  Shapes follow the paper's notation where the last
-axis is the feature axis ``F`` and the second-to-last axis is the sequence
-(position) axis ``N``.
+All functions take and return ``numpy.ndarray`` objects and never mutate
+their inputs.  Shapes follow the paper's notation where the last axis is the
+feature axis ``F`` and the second-to-last axis is the sequence (position)
+axis ``N``.
+
+The element-wise/normalisation kernels (``softmax``, ``log_softmax``,
+``layer_norm``, ``gelu``, ``relu``) accept an optional ``out=`` scratch
+buffer so hot loops (KV-cached decoding) can reuse one workspace instead of
+allocating per op.  ``out`` must match the input's shape and dtype exactly —
+the kernels refuse silently-casting buffers.  With or without ``out`` the
+arithmetic is the same ufunc sequence, so results are bit-identical.
+
+Dtype policy: the output dtype always equals the input dtype.  Python-float
+constants are weak scalars under NEP 50 and never upcast; the dtype
+preservation tests pin this for float16/32/64 through every kernel.
 """
 
 from __future__ import annotations
@@ -28,24 +39,40 @@ __all__ = [
 _SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
 
 
-def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+def _check_out(x: np.ndarray, out: np.ndarray | None) -> None:
+    """Scratch buffers must match exactly — no silent casts or broadcasts."""
+    if out is None:
+        return
+    if out.shape != x.shape:
+        raise ValueError(f"out shape {out.shape} does not match input {x.shape}")
+    if out.dtype != x.dtype:
+        raise ValueError(f"out dtype {out.dtype} does not match input {x.dtype}")
+
+
+def softmax(x: np.ndarray, axis: int = -1, out: np.ndarray | None = None) -> np.ndarray:
     """Stable softmax along ``axis``.
 
     Subtracts the running maximum before exponentiation so that large
     attention logits (e.g. unscaled ``QK^T`` values) do not overflow in
-    float32.
+    float32.  ``out`` may alias ``x`` for fully in-place operation.
     """
+    _check_out(x, out)
     x_max = np.max(x, axis=axis, keepdims=True)
-    shifted = x - x_max
-    exp = np.exp(shifted)
-    return exp / np.sum(exp, axis=axis, keepdims=True)
+    out = np.subtract(x, x_max, out=out) if out is not None else np.subtract(x, x_max)
+    np.exp(out, out=out)
+    denom = np.sum(out, axis=axis, keepdims=True)
+    np.divide(out, denom, out=out)
+    return out
 
 
-def log_softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Stable log-softmax along ``axis``."""
+def log_softmax(x: np.ndarray, axis: int = -1, out: np.ndarray | None = None) -> np.ndarray:
+    """Stable log-softmax along ``axis``.  ``out`` may alias ``x``."""
+    _check_out(x, out)
     x_max = np.max(x, axis=axis, keepdims=True)
-    shifted = x - x_max
-    return shifted - np.log(np.sum(np.exp(shifted), axis=axis, keepdims=True))
+    out = np.subtract(x, x_max, out=out) if out is not None else np.subtract(x, x_max)
+    lse = np.log(np.sum(np.exp(out), axis=axis, keepdims=True))
+    np.subtract(out, lse, out=out)
+    return out
 
 
 def layer_norm(
@@ -53,6 +80,7 @@ def layer_norm(
     weight: np.ndarray | None = None,
     bias: np.ndarray | None = None,
     eps: float = 1e-5,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Layer normalisation over the last axis (Ba et al., 2016).
 
@@ -60,24 +88,45 @@ def layer_norm(
     each row of the ``(N, F)`` activation is normalised independently, which
     is what makes the operation partitionable by position.
     """
+    _check_out(x, out)
     mean = np.mean(x, axis=-1, keepdims=True)
     var = np.var(x, axis=-1, keepdims=True)
-    normed = (x - mean) / np.sqrt(var + eps)
+    denom = np.sqrt(var + eps)
+    out = np.subtract(x, mean, out=out) if out is not None else np.subtract(x, mean)
+    np.divide(out, denom, out=out)
     if weight is not None:
-        normed = normed * weight
+        np.multiply(out, weight, out=out)
     if bias is not None:
-        normed = normed + bias
-    return normed
+        np.add(out, bias, out=out)
+    return out
 
 
-def relu(x: np.ndarray) -> np.ndarray:
+def relu(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
     """Rectified linear unit, the FFN activation of the original transformer."""
-    return np.maximum(x, 0.0)
+    _check_out(x, out)
+    return np.maximum(x, 0.0, out=out) if out is not None else np.maximum(x, 0.0)
 
 
-def gelu(x: np.ndarray) -> np.ndarray:
-    """Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2)."""
-    return 0.5 * x * (1.0 + np.tanh(_SQRT_2_OVER_PI * (x + 0.044715 * x * x * x)))
+def gelu(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Gaussian error linear unit (tanh approximation, as used by BERT/GPT-2).
+
+    ``0.5 · x · (1 + tanh(√(2/π) · (x + 0.044715 x³)))`` — evaluated as a
+    ufunc chain into ``out`` (which must not alias ``x``: the input is read
+    again after the tanh).
+    """
+    _check_out(x, out)
+    if out is x:
+        raise ValueError("gelu out buffer must not alias the input")
+    out = np.multiply(x, 0.044715, out=out) if out is not None else np.multiply(x, 0.044715)
+    np.multiply(out, x, out=out)
+    np.multiply(out, x, out=out)
+    np.add(out, x, out=out)
+    np.multiply(out, _SQRT_2_OVER_PI, out=out)
+    np.tanh(out, out=out)
+    np.add(out, 1.0, out=out)
+    np.multiply(out, x, out=out)
+    np.multiply(out, 0.5, out=out)
+    return out
 
 
 ACTIVATIONS = {"relu": relu, "gelu": gelu}

@@ -235,3 +235,100 @@ class TestSpmd:
         runtime = ThreadedRuntime(3)
         results, _ = runtime.run(lambda ctx: ctx.world_size)
         assert results == [3, 3, 3]
+
+
+class TestBufferReuse:
+    """The collectives write into pooled per-rank receive buffers.
+
+    Contract: a collective's result stays valid until the *second*-next call
+    of the same collective on that rank (two pool generations alternate).
+    """
+
+    def test_third_all_gather_reuses_first_buffer(self):
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            r1 = ctx.all_gather(np.full((2,), float(ctx.rank), dtype=np.float32))
+            snap1 = r1.copy()
+            r2 = ctx.all_gather(np.full((2,), 10.0 + ctx.rank, dtype=np.float32))
+            first_still_valid = bool(np.array_equal(r1, snap1))
+            r3 = ctx.all_gather(np.full((2,), 20.0 + ctx.rank, dtype=np.float32))
+            return (
+                first_still_valid,
+                bool(np.shares_memory(r1, r3)),  # generation 1 recycled
+                bool(np.array_equal(r2, [10.0, 10.0, 11.0, 11.0])),
+                bool(np.array_equal(r3, [20.0, 20.0, 21.0, 21.0])),
+            )
+
+        results, stats = runtime.run(worker)
+        for first_still_valid, recycled, r2_ok, r3_ok in results:
+            assert first_still_valid and recycled and r2_ok and r3_ok
+        for s in stats:
+            assert s.buffers_reused == 1  # only the third call found a free buffer
+
+    def test_all_reduce_values_and_copy_accounting(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            total = None
+            for _ in range(4):
+                total = ctx.all_reduce(np.full((8,), 1.0 + ctx.rank, dtype=np.float32))
+            return total
+
+        results, stats = runtime.run(worker)
+        for out in results:
+            np.testing.assert_array_equal(out, np.full((8,), 6.0, dtype=np.float32))
+        for s in stats:
+            assert s.buffers_reused == 2  # calls 3 and 4 recycled the pool
+            assert s.bytes_copied == 4 * 8 * 4  # one output materialisation per call
+
+    def test_broadcast_copies_stay_private_with_pooling(self):
+        runtime = ThreadedRuntime(3)
+
+        def worker(ctx):
+            received = ctx.all_gather(np.zeros((1,), dtype=np.float32))  # sync only
+            del received
+            out = ctx.broadcast(
+                np.arange(4, dtype=np.float32) if ctx.rank == 0 else None, root=0
+            )
+            out[0] = 100.0 + ctx.rank  # mutate own copy
+            ctx.barrier()
+            again = ctx.broadcast(
+                np.arange(4, dtype=np.float32) if ctx.rank == 0 else None, root=0
+            )
+            return float(again[0]), float(out[0])
+
+        results, stats = runtime.run(worker)
+        for rank, (fresh, mutated) in enumerate(results):
+            assert fresh == 0.0  # nobody saw a peer's mutation
+            assert mutated == 100.0 + rank  # first result survives the second call
+        for rank, s in enumerate(stats):
+            if rank != 0:
+                assert s.bytes_copied >= 2 * 4 * 4
+
+    def test_aliasing_input_never_reused_as_output(self):
+        """Gathering a view of a previous result must not hand back the same
+        memory as the output buffer."""
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            x = ctx.all_gather(np.full((2,), float(ctx.rank), dtype=np.float32))
+            y = ctx.all_gather(x[ctx.rank * 2 : ctx.rank * 2 + 2])
+            z = ctx.all_gather(y[ctx.rank * 2 : ctx.rank * 2 + 2])
+            return bool(np.array_equal(y, z)) and bool(np.array_equal(y, [0, 0, 1, 1]))
+
+        results, _ = runtime.run(worker)
+        assert results == [True, True]
+
+    def test_mixed_dtype_gather_still_promotes(self):
+        runtime = ThreadedRuntime(2)
+
+        def worker(ctx):
+            dtype = np.float32 if ctx.rank == 0 else np.float64
+            return ctx.all_gather(np.ones((2,), dtype=dtype))
+
+        results, stats = runtime.run(worker)
+        for out in results:
+            assert out.dtype == np.float64
+        for s in stats:
+            assert s.buffers_reused == 0  # fallback path allocates

@@ -4,8 +4,15 @@ import numpy as np
 import pytest
 
 from repro.models import GPT2Model, tiny_config
-from repro.models.cache import KVCache, LayerKVCache, layer_forward_cached
+from repro.models.cache import (
+    DecoderLayerKVCache,
+    KVCache,
+    LayerKVCache,
+    decoder_layer_forward_cached,
+    layer_forward_cached,
+)
 from repro.models.layer import TransformerLayer
+from repro.tensor import Workspace
 
 
 def causal_layer(norm_style="pre", seed=9):
@@ -54,6 +61,84 @@ class TestLayerKVCache:
         assert cache.length == 0
 
 
+class TestCacheDtypeValidation:
+    def test_mismatched_new_kv_dtypes_rejected(self, rng):
+        """Regression: a float32 K with a float64 V used to be silently
+        accepted and promoted on the next concatenate."""
+        k = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        v = rng.normal(size=(2, 2, 8)).astype(np.float64)
+        with pytest.raises(ValueError, match="dtypes disagree"):
+            LayerKVCache().append(k, v)
+
+    def test_append_dtype_change_rejected(self, rng):
+        cache = LayerKVCache()
+        k32 = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        cache.append(k32, k32.copy())
+        k64 = rng.normal(size=(2, 1, 8))
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            cache.append(k64, k64.copy())
+
+    def test_cached_dtype_preserved(self, rng):
+        cache = LayerKVCache()
+        k = rng.normal(size=(2, 3, 8)).astype(np.float32)
+        k_all, v_all = cache.append(k, k.copy())
+        assert k_all.dtype == np.float32
+        assert v_all.dtype == np.float32
+
+
+class TestPreallocation:
+    def test_capacity_hint_allocates_once(self, rng):
+        cache = LayerKVCache(capacity=16)
+        for _ in range(16):
+            step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+            cache.append(step, step.copy())
+        assert cache.length == 16
+        assert cache.capacity == 16
+        assert cache.allocations == 1
+
+    def test_geometric_growth_is_amortised(self, rng):
+        cache = LayerKVCache()
+        for _ in range(64):
+            step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+            cache.append(step, step.copy())
+        assert cache.length == 64
+        assert cache.allocations <= 8  # ~log2(64) reallocations, not 64
+
+    def test_append_returns_views_of_backing_buffer(self, rng):
+        cache = LayerKVCache(capacity=8)
+        step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        k_a, _ = cache.append(step, step.copy())
+        k_b, _ = cache.append(step, step.copy())
+        assert np.shares_memory(k_a, k_b)  # both view the same preallocation
+
+    def test_append_copies_its_inputs(self, rng):
+        """Mutating the caller's array after append must not corrupt the
+        cache (the old implementation aliased the first append)."""
+        cache = LayerKVCache()
+        k = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        expected = k.copy()
+        cache.append(k, k.copy())
+        k[:] = 0.0
+        np.testing.assert_array_equal(cache.k, expected)
+
+    def test_reserve_then_append_does_not_reallocate(self, rng):
+        cache = LayerKVCache()
+        step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        cache.append(step, step.copy())
+        allocations = cache.allocations
+        cache.reserve(32)
+        for _ in range(31):
+            cache.append(step, step.copy())
+        assert cache.allocations == allocations + 1  # only reserve() allocated
+
+    def test_growth_preserves_earlier_positions(self, rng):
+        cache = LayerKVCache()
+        steps = [rng.normal(size=(2, 1, 8)).astype(np.float32) for _ in range(12)]
+        for step in steps:
+            cache.append(step, step.copy())
+        np.testing.assert_array_equal(cache.k, np.concatenate(steps, axis=1))
+
+
 class TestLayerForwardCached:
     @pytest.mark.parametrize("norm_style", ["pre", "post"])
     def test_incremental_equals_full_forward(self, rng, norm_style):
@@ -80,6 +165,82 @@ class TestLayerForwardCached:
         layer = TransformerLayer(tiny_config(), rng=rng)
         with pytest.raises(ValueError, match="causal"):
             layer_forward_cached(layer, np.zeros((1, 32), dtype=np.float32), LayerKVCache())
+
+    @pytest.mark.parametrize("norm_style", ["pre", "post"])
+    def test_workspace_path_is_bit_identical(self, rng, norm_style):
+        """The workspace-backed step runs the same ufunc chains as the
+        allocating step, so the outputs must match bit for bit."""
+        layer = causal_layer(norm_style)
+        x = rng.normal(size=(9, 32)).astype(np.float32)
+        plain_cache, ws_cache = LayerKVCache(), LayerKVCache(capacity=9)
+        workspace = Workspace()
+        for chunk in (x[0:4], x[4:5], x[5:9]):
+            plain = layer_forward_cached(layer, chunk, plain_cache)
+            buffered = layer_forward_cached(layer, chunk, ws_cache, workspace=workspace)
+            np.testing.assert_array_equal(plain, buffered)
+        np.testing.assert_array_equal(plain_cache.k, ws_cache.k)
+        assert workspace.allocations > 0  # the workspace actually engaged
+
+    def test_workspace_chunked_decode_matches_full_forward(self, rng):
+        """Cached-vs-uncached equivalence *post*-preallocation: same check
+        as above but through the preallocated + workspace path."""
+        layer = causal_layer()
+        x = rng.normal(size=(12, 32)).astype(np.float32)
+        full = layer(x)
+        cache = LayerKVCache(capacity=12)
+        workspace = Workspace()
+        outputs = [
+            layer_forward_cached(layer, x[i : i + 1], cache, workspace=workspace)
+            for i in range(12)
+        ]
+        np.testing.assert_allclose(np.concatenate(outputs), full, atol=1e-5)
+
+
+class TestDecoderLayerCached:
+    def seq2seq_config(self):
+        return tiny_config(norm_style="post", is_causal=True, type_vocab_size=0)
+
+    def test_incremental_equals_full_forward(self, rng):
+        from repro.models.seq2seq import DecoderLayer
+
+        layer = DecoderLayer(self.seq2seq_config(), rng=np.random.default_rng(3))
+        x = rng.normal(size=(7, 32)).astype(np.float32)
+        memory = rng.normal(size=(5, 32)).astype(np.float32)
+        full = layer(x, memory)
+        cache = DecoderLayerKVCache(capacity=7)
+        outputs = [
+            decoder_layer_forward_cached(layer, x[i : i + 1], memory, cache)
+            for i in range(7)
+        ]
+        np.testing.assert_allclose(np.concatenate(outputs), full, atol=1e-5)
+        assert cache.length == 7
+
+    def test_cross_kv_memoised_once(self, rng):
+        from repro.models.seq2seq import DecoderLayer
+
+        layer = DecoderLayer(self.seq2seq_config(), rng=np.random.default_rng(3))
+        memory = rng.normal(size=(5, 32)).astype(np.float32)
+        cache = DecoderLayerKVCache()
+        decoder_layer_forward_cached(
+            layer, rng.normal(size=(1, 32)).astype(np.float32), memory, cache
+        )
+        memo_k = cache.memory_k
+        decoder_layer_forward_cached(
+            layer, rng.normal(size=(1, 32)).astype(np.float32), memory, cache
+        )
+        assert cache.memory_k is memo_k  # not recomputed on later steps
+
+    def test_greedy_translate_cached_matches_uncached(self, rng):
+        from repro.models.seq2seq import Seq2SeqTransformer
+
+        cfg = tiny_config(
+            norm_style="post", is_causal=True, type_vocab_size=0, num_layers=2
+        )
+        model = Seq2SeqTransformer(cfg, rng=np.random.default_rng(11))
+        src = rng.integers(0, cfg.vocab_size, size=6)
+        uncached = model.greedy_translate(src, max_length=8)
+        cached = model.greedy_translate_cached(src, max_length=8)
+        np.testing.assert_array_equal(cached, uncached)
 
 
 class TestGenerateCached:

@@ -1,0 +1,118 @@
+"""Dtype preservation and ``out=`` scratch-buffer semantics of the kernels."""
+
+import numpy as np
+import pytest
+
+from repro.tensor import Workspace
+from repro.tensor import functional as F
+
+KERNELS = {
+    "softmax": lambda x, **kw: F.softmax(x, **kw),
+    "log_softmax": lambda x, **kw: F.log_softmax(x, **kw),
+    "layer_norm": lambda x, **kw: F.layer_norm(x, **kw),
+    "relu": lambda x, **kw: F.relu(x, **kw),
+    "gelu": lambda x, **kw: F.gelu(x, **kw),
+}
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+@pytest.mark.parametrize("dtype", [np.float16, np.float32, np.float64])
+class TestDtypePreservation:
+    def test_output_dtype_matches_input(self, rng, name, dtype):
+        """fp32 in must mean fp32 out — no silent float64 upcasts."""
+        x = rng.normal(size=(4, 8)).astype(dtype)
+        assert KERNELS[name](x).dtype == dtype
+
+    def test_out_variant_dtype_matches_input(self, rng, name, dtype):
+        x = rng.normal(size=(4, 8)).astype(dtype)
+        out = np.empty_like(x)
+        result = KERNELS[name](x, out=out)
+        assert result is out
+        assert result.dtype == dtype
+
+
+@pytest.mark.parametrize("name", sorted(KERNELS))
+class TestOutVariants:
+    def test_bit_identical_to_allocating_path(self, rng, name):
+        """With or without ``out`` the same ufunc chain runs — results must
+        be bit-for-bit equal, which is what lets the cached decode adopt the
+        workspace without perturbing the verify campaigns."""
+        x = rng.normal(size=(6, 16)).astype(np.float32)
+        plain = KERNELS[name](x)
+        buffered = KERNELS[name](x, out=np.empty_like(x))
+        np.testing.assert_array_equal(plain, buffered)
+
+    def test_input_not_mutated(self, rng, name):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        original = x.copy()
+        KERNELS[name](x, out=np.empty_like(x))
+        np.testing.assert_array_equal(x, original)
+
+    def test_shape_mismatch_rejected(self, rng, name):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        with pytest.raises(ValueError, match="shape"):
+            KERNELS[name](x, out=np.empty((3, 6), dtype=np.float32))
+
+    def test_dtype_mismatch_rejected(self, rng, name):
+        x = rng.normal(size=(3, 5)).astype(np.float32)
+        with pytest.raises(ValueError, match="dtype"):
+            KERNELS[name](x, out=np.empty((3, 5), dtype=np.float64))
+
+
+class TestAliasing:
+    @pytest.mark.parametrize("name", ["softmax", "log_softmax"])
+    def test_in_place_allowed(self, rng, name):
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        expected = KERNELS[name](x.copy())
+        result = KERNELS[name](x, out=x)
+        assert result is x
+        np.testing.assert_array_equal(result, expected)
+
+    def test_gelu_rejects_aliased_out(self, rng):
+        x = rng.normal(size=(4, 8)).astype(np.float32)
+        with pytest.raises(ValueError, match="alias"):
+            F.gelu(x, out=x)
+
+
+class TestWorkspace:
+    def test_same_slot_reuses_backing_buffer(self):
+        ws = Workspace()
+        a = ws.take("scores", (4, 8))
+        b = ws.take("scores", (4, 8))
+        assert np.shares_memory(a, b)
+        assert ws.allocations == 1
+        assert ws.requests == 2
+
+    def test_distinct_slots_are_distinct_buffers(self):
+        ws = Workspace()
+        a = ws.take("a", (4, 8))
+        b = ws.take("b", (4, 8))
+        assert not np.shares_memory(a, b)
+
+    def test_geometric_growth_amortises_allocations(self):
+        """A lengthening decode (growing score rows) must not reallocate
+        per step."""
+        ws = Workspace()
+        for total in range(1, 257):
+            ws.take("scores", (4, 1, total))
+        assert ws.allocations <= 10  # log2(256) + slack, not 256
+
+    def test_shrinking_request_reuses_buffer(self):
+        ws = Workspace()
+        ws.take("x", (16, 16))
+        ws.take("x", (2, 2))
+        assert ws.allocations == 1
+
+    def test_dtype_keys_are_separate(self):
+        ws = Workspace()
+        a = ws.take("x", (4,), dtype=np.float32)
+        b = ws.take("x", (4,), dtype=np.float64)
+        assert a.dtype == np.float32 and b.dtype == np.float64
+        assert not np.shares_memory(a, b)
+
+    def test_nbytes_and_clear(self):
+        ws = Workspace()
+        ws.take("x", (8,), dtype=np.float32)
+        assert ws.nbytes() == 32
+        ws.clear()
+        assert ws.nbytes() == 0
