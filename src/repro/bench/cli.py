@@ -8,7 +8,8 @@ Usage::
     voltage-bench fig6 --model     # same, FLOP-model based (fast)
     voltage-bench comm              # communication volume table
     voltage-bench ablations         # order-choice + heterogeneity ablations
-    voltage-bench serving           # Poisson-arrival serving sweep (ours)
+    voltage-bench serving           # Poisson-arrival serving sweep (analytic, ours)
+    voltage-bench serving --json out/   # same, plus a serving_tail.json dump
     voltage-bench profile           # host-side span profile vs cost model
     voltage-bench headline          # Section VI-B text claims
     voltage-bench all --json out/   # everything, plus JSON dumps
@@ -16,6 +17,8 @@ Usage::
     voltage-bench verify --replay 7 # re-run one scenario by its seed
     voltage-bench perf              # allocation-aware perf suite -> BENCH_perf.json
     voltage-bench perf --quick --check  # CI smoke lane with regression gate
+    voltage-bench serve             # online engine offered-load sweep -> BENCH_serve.json
+    voltage-bench serve --quick --check # CI soak lane with baseline gate
 
 Any invocation accepts ``--trace OUT.json`` to capture the run as a Chrome
 ``trace_event`` timeline (open in Perfetto / ``chrome://tracing``): every
@@ -149,15 +152,63 @@ def _run_perf(args) -> int:
         f"{derived['cached_decode_peak_drop_vs_legacy']:.1f}x lower peak allocation"
     )
 
+    output = args.output or Path("BENCH_perf.json")
+    baseline = args.baseline or Path("BENCH_perf.json")
     failures = []
     if args.check:
-        failures = perf.check_regression(payload, mode, args.baseline)
+        failures = perf.check_regression(payload, mode, baseline)
         for failure in failures:
             print(f"FAIL: {failure}")
         if not failures:
-            print(f"check: within {perf.REGRESSION_FACTOR:g}x of {args.baseline}")
-    perf.emit_report(payload, mode, args.output)
-    print(f"report: {args.output} (mode {mode!r})")
+            print(f"check: within {perf.REGRESSION_FACTOR:g}x of {baseline}")
+    perf.emit_report(payload, mode, output)
+    print(f"report: {output} (mode {mode!r})")
+    return 1 if failures else 0
+
+
+def _run_serve(args) -> int:
+    """Online engine offered-load sweep (``repro.bench.serve``)."""
+    from repro.bench import serve
+    from repro.bench.harness import format_aligned
+
+    mode = "quick" if args.quick else "full"
+    print(f"serve: running {mode} offered-load sweep (virtual time, deterministic) ...")
+    payload = serve.run_serve_sweep(quick=args.quick)
+
+    rows = [["load", "thr rps", "p50", "p99", "shed", "occupancy"]]
+    for point in payload["sweep"]:
+        p50, p99 = point["p50_latency_s"], point["p99_latency_s"]
+        rows.append([
+            f"{point['offered_ratio']:g}x",
+            f"{point['throughput_rps']:.2f}",
+            f"{p50 * 1e3:.0f} ms" if p50 is not None else "-",
+            f"{p99 * 1e3:.0f} ms" if p99 is not None else "-",
+            f"{point['shed_rate']:.0%}",
+            f"{point['mean_slot_occupancy']:.0%}",
+        ])
+    print(format_aligned(rows))
+    overload = payload["overload"]
+    shed, open_ = overload["with_shedding"], overload["without_shedding"]
+    print(
+        f"overload {overload['factor']:g}x (bound {overload['latency_bound_s']:.3f}s): "
+        f"shedding p99 {shed['p99_latency_s']:.3f}s "
+        f"({'holds' if overload['bound_held_with_shedding'] else 'VIOLATES'} bound, "
+        f"shed {shed['shed_rate']:.0%}); "
+        f"no shedding p99 {open_['p99_latency_s']:.3f}s "
+        f"({'exceeds' if overload['bound_exceeded_without_shedding'] else 'meets'} bound)"
+    )
+
+    output = args.output or Path("BENCH_serve.json")
+    baseline = args.baseline or Path("BENCH_serve.json")
+    failures = []
+    if args.check:
+        failures = serve.check_regression(payload, mode, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print(f"check: within tolerance of {baseline}")
+    serve.emit_report(payload, mode, output)
+    print(f"report: {output} (mode {mode!r})")
     return 1 if failures else 0
 
 
@@ -169,7 +220,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig4", "fig5", "fig6", "comm", "ablations", "serving", "profile",
-                 "headline", "verify", "perf", "all"],
+                 "headline", "verify", "perf", "serve", "all"],
         help="which experiment to run",
     )
     parser.add_argument("--layers", type=int, default=4,
@@ -197,19 +248,22 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-shrink", action="store_true",
                         help="verify: skip minimising failing configs")
     parser.add_argument("--quick", action="store_true",
-                        help="perf: smaller workloads for the CI smoke lane")
+                        help="perf/serve: smaller workloads for the CI smoke lane")
     parser.add_argument("--check", action="store_true",
-                        help="perf: fail if the cached-decode speedup regresses "
-                             ">2x vs the committed baseline")
-    parser.add_argument("--output", type=Path, default=Path("BENCH_perf.json"),
-                        help="perf: report file to write/merge (default BENCH_perf.json)")
-    parser.add_argument("--baseline", type=Path, default=Path("BENCH_perf.json"),
-                        help="perf: committed baseline to --check against")
+                        help="perf/serve: fail if results regress vs the committed baseline")
+    parser.add_argument("--output", type=Path, default=None,
+                        help="perf/serve: report file to write/merge "
+                             "(default BENCH_perf.json / BENCH_serve.json)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="perf/serve: committed baseline to --check against "
+                             "(defaults to the report file)")
     args = parser.parse_args(argv)
     if args.target == "verify":
         return _run_verify(args)
     if args.target == "perf":
         return _run_perf(args)
+    if args.target == "serve":
+        return _run_serve(args)
     if args.trace is not None and (not args.trace.name or args.trace.is_dir()):
         parser.error("--trace requires an output file path, e.g. --trace out.json")
 

@@ -1,0 +1,58 @@
+"""Online inference engine: continuous batching, SLO scheduling, shedding.
+
+The analytic :mod:`repro.serving` package answers "what latency *would*
+each deployment see" with queueing models; this package actually executes
+models under live request streams.  The pieces:
+
+- :mod:`repro.engine.clock` — deterministic virtual time or dilated wall
+  time (one interface, so soak tests replay hours of traffic in ms);
+- :mod:`repro.engine.slots` — a bounded pool of preallocated KV-cache
+  slots (``LayerKVCache.truncate`` recycling, no steady-state allocation);
+- :mod:`repro.engine.scheduler` — bounded admission queue with FIFO /
+  priority / EDF ordering and explicit load shedding;
+- :mod:`repro.engine.sequencer` — per-request execution state machines:
+  KV-cached GPT-2 greedy decode (bit-identical to the offline
+  ``generate_cached``) and the threaded distributed Voltage forward;
+- :mod:`repro.engine.engine` — the worker loop tying them together, fully
+  instrumented through :mod:`repro.obs`.
+
+Quick start::
+
+    from repro import engine
+    from repro.serving.arrivals import poisson_arrivals
+
+    seq = engine.GPT2CachedSequencer(model, max_new_tokens=8,
+                                     step_cost=lambda t, n: 0.01 * t + 0.002)
+    eng = engine.InferenceEngine(seq, engine.EngineConfig(num_slots=4))
+    report = eng.run(poisson_arrivals(100, rate=5.0, n_tokens=16))
+    print(report.stats().summary(), f"shed {report.shed_rate:.0%}")
+"""
+
+from repro.engine.clock import VirtualClock, WallClock
+from repro.engine.engine import (
+    CompletedRequest,
+    EngineConfig,
+    EngineReport,
+    EngineStalledError,
+    InferenceEngine,
+)
+from repro.engine.scheduler import POLICIES, Scheduler, ShedRequest
+from repro.engine.sequencer import GPT2CachedSequencer, VoltageForwardSequencer
+from repro.engine.slots import KVSlot, SlotPool
+
+__all__ = [
+    "CompletedRequest",
+    "EngineConfig",
+    "EngineReport",
+    "EngineStalledError",
+    "GPT2CachedSequencer",
+    "InferenceEngine",
+    "KVSlot",
+    "POLICIES",
+    "Scheduler",
+    "ShedRequest",
+    "SlotPool",
+    "VirtualClock",
+    "VoltageForwardSequencer",
+    "WallClock",
+]

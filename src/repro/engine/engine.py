@@ -1,0 +1,372 @@
+"""The online inference engine: continuous batching over a bounded slot pool.
+
+The worker loop (INTERNALS §10) turns an arrival stream into completed
+requests through four repeating phases, all at *token-step* granularity:
+
+1. **admit** — arrivals whose timestamp has passed enter the scheduler's
+   bounded queue (or are shed with backpressure, reason ``queue-full``);
+2. **preempt** — under the preemptive priority policy, a queued request
+   that outranks the lowest-priority running decode evicts it: the victim's
+   slot is truncated and recycled, the victim re-queued (greedy decoding is
+   deterministic, so its eventual output is unchanged — only work is lost);
+3. **dispatch** — free slots are filled from the queue in policy order;
+   requests whose deadline is already hopeless are shed (reason
+   ``deadline``) instead of occupying a slot;
+4. **step** — every in-flight request advances exactly one token step
+   (prefill counts as one step), which is continuous batching at iteration
+   granularity: a finishing decode frees its slot for a queued request at
+   the very next iteration, no batch barrier.
+
+Time comes from a pluggable clock: deterministic accelerated virtual time
+(the default — soak tests and the ``serve`` bench) or dilated wall time.
+Everything the loop does is observable: queue-depth / slot-occupancy
+gauges, shed and preemption counters, per-request spans on the ``engine``
+trace track.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.engine.clock import VirtualClock
+from repro.engine.scheduler import Scheduler, ShedRequest
+from repro.engine.slots import KVSlot, SlotPool
+from repro.obs.metrics import get_registry
+from repro.obs.tracer import current_tracer
+from repro.serving.arrivals import Request
+from repro.serving.stats import ServedRequest, ServingStats
+
+__all__ = [
+    "EngineConfig",
+    "CompletedRequest",
+    "EngineReport",
+    "EngineStalledError",
+    "InferenceEngine",
+]
+
+
+class EngineStalledError(RuntimeError):
+    """The loop made no progress — a scheduling bug, surfaced loudly."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine sizing and policy knobs (see INTERNALS §10 for the semantics)."""
+
+    num_slots: int = 4
+    max_queue: int | None = None  # None = unbounded queue (no queue-full sheds)
+    policy: str = "fifo"  # "fifo" | "priority" | "edf"
+    preemptive: bool = False  # priority policy only: evict lower-priority decodes
+    shed_on_deadline: bool = True  # drop queued requests that can no longer make it
+    service_estimate: Callable[[Request], float] | None = None
+    chaos_preempt_period: int | None = None  # testing: force a preemption every ~N steps
+    chaos_max_preemptions: int = 4  # per-request chaos cap, so runs always terminate
+    chaos_seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_slots < 1:
+            raise ValueError(f"need >= 1 slot, got {self.num_slots}")
+        if self.preemptive and self.policy != "priority":
+            raise ValueError("preemption requires the 'priority' policy")
+        if self.chaos_preempt_period is not None and self.chaos_preempt_period < 1:
+            raise ValueError(
+                f"chaos_preempt_period must be >= 1, got {self.chaos_preempt_period}"
+            )
+        if self.chaos_max_preemptions < 0:
+            raise ValueError(
+                f"chaos_max_preemptions must be >= 0, got {self.chaos_max_preemptions}"
+            )
+
+
+@dataclass(frozen=True)
+class CompletedRequest:
+    """One served request: lifecycle timestamps plus the model output."""
+
+    request: Request
+    output: np.ndarray
+    start: float  # first time it held a slot
+    finish: float
+    steps: int  # model forwards charged to it (includes redone work)
+    preemptions: int = 0
+    slot_index: int = -1
+
+    @property
+    def latency(self) -> float:
+        return self.finish - self.request.arrival
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.request.deadline is not None and self.finish > self.request.deadline
+
+
+@dataclass
+class EngineReport:
+    """Everything one engine run produced, with serving-stats views."""
+
+    completed: list[CompletedRequest]
+    shed: list[ShedRequest]
+    num_slots: int
+    makespan: float = 0.0
+    slot_seconds: float = 0.0
+    steps_total: int = 0
+    preemptions_total: int = 0
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.completed) + len(self.shed)
+
+    @property
+    def shed_rate(self) -> float:
+        return len(self.shed) / self.total_requests if self.total_requests else 0.0
+
+    @property
+    def mean_slot_occupancy(self) -> float:
+        """Time-averaged fraction of the slot pool that was busy."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.slot_seconds / (self.makespan * self.num_slots)
+
+    def outputs(self) -> dict[int, np.ndarray]:
+        return {c.request.id: c.output for c in self.completed}
+
+    def served(self) -> list[ServedRequest]:
+        return [
+            ServedRequest(request=c.request, start=c.start, finish=c.finish)
+            for c in self.completed
+        ]
+
+    def stats(self) -> ServingStats:
+        return ServingStats.from_served(self.served())
+
+
+@dataclass
+class _Flight:
+    """Engine-side bookkeeping around one in-flight sequencer state."""
+
+    state: object
+    request: Request
+    slot: KVSlot
+    steps: int = 0
+
+
+@dataclass
+class _Lifecycle:
+    first_start: float | None = None
+    preemptions: int = 0
+    steps: int = 0
+
+
+class InferenceEngine:
+    """Replays an arrival stream through a sequencer under one scheduler.
+
+    The slot pool persists across :meth:`run` calls (its buffers are the
+    expensive part); the scheduler is rebuilt per run so shed records and
+    queue state never leak between runs.
+    """
+
+    def __init__(self, sequencer, config: EngineConfig | None = None, clock=None):
+        self.sequencer = sequencer
+        self.config = config if config is not None else EngineConfig()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.pool = SlotPool(
+            self.config.num_slots,
+            num_layers=sequencer.num_layers,
+            capacity=sequencer.slot_capacity,
+        )
+        self.scheduler: Scheduler | None = None  # set per run
+
+    def _new_scheduler(self) -> Scheduler:
+        config = self.config
+        return Scheduler(
+            policy=config.policy,
+            max_queue=config.max_queue,
+            shed_on_deadline=config.shed_on_deadline,
+            service_estimate=config.service_estimate,
+        )
+
+    # -- the worker loop -------------------------------------------------------
+
+    def run(
+        self,
+        requests: Sequence[Request],
+        prompts: dict[int, np.ndarray] | None = None,
+    ) -> EngineReport:
+        """Serve every request; returns when the stream is fully drained.
+
+        ``prompts`` optionally maps request ids to explicit token arrays;
+        missing ids fall back to the sequencer's deterministic synthetic
+        prompt.  Request ids must be unique — they key the report's outputs.
+        """
+        order = sorted(requests)
+        ids = [r.id for r in order]
+        if len(set(ids)) != len(ids):
+            raise ValueError("request ids must be unique within one engine run")
+        prompts = prompts if prompts is not None else {}
+        config, clock, pool = self.config, self.clock, self.pool
+        scheduler = self.scheduler = self._new_scheduler()
+        registry = get_registry()
+        tracer = current_tracer()
+        queue_gauge = registry.gauge("engine.queue_depth")
+        slots_gauge = registry.gauge("engine.slots_in_use")
+        chaos_rng = (
+            np.random.default_rng(config.chaos_seed)
+            if config.chaos_preempt_period is not None
+            else None
+        )
+
+        lifecycles: dict[int, _Lifecycle] = {r.id: _Lifecycle() for r in order}
+        active: list[_Flight] = []
+        completed: list[CompletedRequest] = []
+        shed_seen = 0
+        last_chaos_step = 0
+        next_arrival = 0
+        first_arrival = order[0].arrival if order else 0.0
+        report = EngineReport(completed=completed, shed=scheduler.shed, num_slots=pool.num_slots)
+
+        def record_shed() -> None:
+            nonlocal shed_seen
+            for record in scheduler.shed[shed_seen:]:
+                registry.counter("engine.shed_total", reason=record.reason).inc()
+                if tracer.enabled:
+                    tracer.record_at(
+                        f"shed request {record.request.id}", cat="engine", kind="other",
+                        start_s=record.time, duration_s=0.0, track="engine",
+                        reason=record.reason,
+                    )
+            shed_seen = len(scheduler.shed)
+
+        def preempt(flight: _Flight) -> None:
+            active.remove(flight)
+            pool.release(flight.slot)  # truncates the caches; buffers survive
+            scheduler.requeue(flight.request)
+            lifecycles[flight.request.id].preemptions += 1
+            report.preemptions_total += 1
+            registry.counter("engine.preemptions_total").inc()
+
+        def finish(flight: _Flight, now: float) -> None:
+            output = self.sequencer.result(flight.state)
+            active.remove(flight)
+            pool.release(flight.slot)
+            life = lifecycles[flight.request.id]
+            record = CompletedRequest(
+                request=flight.request,
+                output=output,
+                start=life.first_start,
+                finish=now,
+                steps=life.steps,
+                preemptions=life.preemptions,
+                slot_index=flight.slot.index,
+            )
+            completed.append(record)
+            registry.counter("engine.completed_total").inc()
+            registry.histogram("engine.latency_seconds").observe(record.latency)
+            if tracer.enabled:
+                tracer.record_at(
+                    f"request {flight.request.id}", cat="engine", kind="service",
+                    start_s=record.start, duration_s=record.finish - record.start,
+                    track="engine", arrival=flight.request.arrival,
+                    preemptions=record.preemptions, steps=record.steps,
+                )
+
+        with tracer.span("engine.run", cat="engine", kind="request", track="engine-wall"):
+            while True:
+                progressed = False
+                now = clock.now()
+
+                # 1. admit everything that has arrived
+                while next_arrival < len(order) and order[next_arrival].arrival <= now:
+                    scheduler.submit(order[next_arrival], now)
+                    next_arrival += 1
+                    progressed = True
+                record_shed()
+
+                # 2. priority preemption: a queued request outranks a runner
+                if config.preemptive and active and pool.num_free == 0:
+                    best = scheduler.best_waiting_priority()
+                    if best is not None:
+                        victim = min(
+                            active,
+                            key=lambda f: (f.request.priority, -f.request.arrival, -f.request.id),
+                        )
+                        if victim.request.priority < best:
+                            preempt(victim)
+                            progressed = True
+
+                # 3. fill free slots in policy order
+                while pool.num_free > 0:
+                    request = scheduler.next_ready(now)
+                    if request is None:
+                        break
+                    slot = pool.acquire()
+                    prompt = prompts.get(request.id)
+                    if prompt is None:
+                        prompt = self.sequencer.prompt_for(request)
+                    state = self.sequencer.begin(request, prompt, slot)
+                    life = lifecycles[request.id]
+                    if life.first_start is None:
+                        life.first_start = now
+                    active.append(_Flight(state=state, request=request, slot=slot))
+                    progressed = True
+                record_shed()
+                queue_gauge.set(scheduler.depth)
+                slots_gauge.set(pool.in_use)
+
+                # 4. one token step for every in-flight request
+                if active:
+                    # chaos hook: force a (seeded) preemption to prove restart
+                    # correctness under adversarial scheduling; the per-request
+                    # cap keeps the redone work finite, so runs always end
+                    if (
+                        chaos_rng is not None
+                        and report.steps_total > 0
+                        and report.steps_total % config.chaos_preempt_period == 0
+                        and report.steps_total != last_chaos_step
+                    ):
+                        last_chaos_step = report.steps_total
+                        eligible = [
+                            f for f in active
+                            if lifecycles[f.request.id].preemptions
+                            < config.chaos_max_preemptions
+                        ]
+                        if eligible:
+                            preempt(eligible[int(chaos_rng.integers(len(eligible)))])
+                    for flight in list(active):
+                        in_use = pool.in_use
+                        began = time.perf_counter()
+                        done, cost = self.sequencer.step(flight.state)
+                        elapsed = (
+                            cost if cost is not None else time.perf_counter() - began
+                        )
+                        clock.advance(elapsed)
+                        flight.steps += 1
+                        lifecycles[flight.request.id].steps += 1
+                        report.steps_total += 1
+                        report.slot_seconds += elapsed * in_use
+                        if done:
+                            finish(flight, clock.now())
+                    progressed = True
+                elif next_arrival < len(order):
+                    clock.wait_until(order[next_arrival].arrival)
+                    progressed = True
+                elif scheduler.depth == 0:
+                    break  # stream drained, queue empty, nothing in flight
+
+                if not progressed:
+                    raise EngineStalledError(
+                        f"engine stalled at t={now:.6f}: queue={scheduler.depth}, "
+                        f"active={len(active)}, free slots={pool.num_free}"
+                    )
+
+        registry.counter("engine.steps_total").inc(report.steps_total)
+        end = max(
+            [c.finish for c in completed] + [s.time for s in scheduler.shed],
+            default=first_arrival,
+        )
+        report.makespan = end - first_arrival
+        queue_gauge.set(0)
+        slots_gauge.set(0)
+        return report

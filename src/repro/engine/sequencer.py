@@ -1,0 +1,231 @@
+"""Sequencers: the model-execution half of the engine, one step at a time.
+
+A sequencer owns *how* a request computes; the engine owns *when*.  The
+contract is a tiny state machine:
+
+- ``begin(request, prompt, slot)`` binds a request to a KV slot and returns
+  an opaque per-request state (no model compute happens here);
+- ``step(state)`` runs exactly one token-step of model compute and returns
+  ``(done, virtual_cost)`` — ``virtual_cost`` is the simulated seconds to
+  charge a :class:`~repro.engine.clock.VirtualClock` (None means "charge
+  measured wall time", the right default under a wall clock);
+- ``result(state)`` is the finished request's output.
+
+Two implementations:
+
+- :class:`GPT2CachedSequencer` — greedy KV-cached decoding, *bit-identical*
+  to :meth:`repro.models.gpt2.GPT2Model.generate_cached` for the same
+  prompt: every forward it runs is literally the same op sequence
+  (embedding add, ``layer_forward_cached`` per layer, final-norm LM head),
+  against the slot's caches instead of a private one.  Buffer capacity is
+  the only difference, and capacity never changes values.  This is what
+  makes the engine's soak guarantee provable: interleaving, preemption and
+  restart permute *which* step runs next, never what a step computes.
+- :class:`VoltageForwardSequencer` — the paper's serving workload: one
+  distributed forward pass per request on real threaded workers
+  (:meth:`VoltageSystem.execute_threaded`), done in a single step.  The
+  slot carries no KV state (``num_layers == 0``); the pool purely bounds
+  how many distributed forwards may be in flight.
+
+A preempted request is simply re-``begin``-ed later: greedy decoding is
+deterministic, so recomputing from the prompt reproduces the discarded
+steps exactly — correctness is preserved by construction, at the price of
+redone work (counted by the engine as ``preemptions``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.models.cache import layer_forward_cached
+from repro.serving.arrivals import Request
+from repro.engine.slots import KVSlot
+
+__all__ = ["GPT2CachedSequencer", "VoltageForwardSequencer"]
+
+
+@dataclass
+class _DecodeState:
+    """One in-flight greedy decode bound to a KV slot."""
+
+    request: Request
+    slot: KVSlot
+    ids: list[int]
+    prompt_len: int
+    next_id: int | None = None
+    emitted: int = 0
+    prefilled: bool = False
+    done: bool = False
+
+
+class GPT2CachedSequencer:
+    """Token-step greedy decoding over slot-owned KV caches."""
+
+    def __init__(
+        self,
+        model,
+        max_new_tokens: int = 8,
+        step_cost: Callable[[int, int], float] | None = None,
+        prompt_seed: int = 0,
+    ):
+        """``step_cost(new_positions, cache_len_before)`` supplies the
+        deterministic virtual-time cost of one forward; leave None to charge
+        measured wall time (wall-clock serving).  ``prompt_seed`` namespaces
+        the synthetic prompts :meth:`prompt_for` derives from request ids.
+        """
+        if max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        self.model = model
+        self.max_new_tokens = max_new_tokens
+        self.step_cost = step_cost
+        self.prompt_seed = prompt_seed
+
+    # -- slot geometry the engine builds its pool from -------------------------
+
+    @property
+    def num_layers(self) -> int:
+        return self.model.num_layers
+
+    @property
+    def slot_capacity(self) -> int:
+        return self.model.config.max_positions
+
+    # -- prompts ---------------------------------------------------------------
+
+    def prompt_for(self, request: Request) -> np.ndarray:
+        """Deterministic synthetic prompt: ``request.n`` tokens seeded by
+        ``(prompt_seed, request.id)`` — the soak tests and the serve bench
+        replay the same prompts offline to check bit-identity."""
+        rng = np.random.default_rng([self.prompt_seed, request.id])
+        n = min(request.n, self.model.config.max_positions)
+        return rng.integers(0, self.model.config.vocab_size, size=n, dtype=np.int64)
+
+    def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
+        """The ground-truth output: a fresh offline ``generate_cached`` run."""
+        prompt = prompt if prompt is not None else self.prompt_for(request)
+        return self.model.generate_cached(prompt, max_new_tokens=self.max_new_tokens)
+
+    # -- the state machine -----------------------------------------------------
+
+    def begin(self, request: Request, prompt: np.ndarray, slot: KVSlot) -> _DecodeState:
+        if slot.length != 0:
+            raise ValueError(f"slot {slot.index} was handed over dirty (length {slot.length})")
+        prompt = np.asarray(prompt)
+        if prompt.ndim != 1 or prompt.size < 1:
+            raise ValueError(f"prompt must be a non-empty 1-D id array, got {prompt.shape}")
+        if prompt.size > self.model.config.max_positions:
+            raise ValueError(
+                f"prompt of {prompt.size} tokens exceeds max_positions "
+                f"{self.model.config.max_positions}"
+            )
+        return _DecodeState(
+            request=request, slot=slot, ids=[int(t) for t in prompt], prompt_len=prompt.size
+        )
+
+    def _forward(self, state: _DecodeState, new_ids: list[int], offset: int) -> int:
+        """One model forward over the new positions — the exact op sequence of
+        ``generate_cached``'s inner ``step``, against the slot's caches."""
+        model = self.model
+        positions = np.arange(offset, offset + len(new_ids))
+        x = model.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+        x = x + model.embeddings.position(positions)
+        for layer, layer_cache in zip(model.layers, state.slot.caches):
+            x = layer_forward_cached(layer, x, layer_cache, workspace=state.slot.workspace)
+        logits = model.ln_f(x[-1]) @ model.embeddings.word.weight.data.T
+        return int(np.argmax(logits))
+
+    def step(self, state: _DecodeState) -> tuple[bool, float | None]:
+        if state.done:
+            raise ValueError(f"request {state.request.id} already finished")
+        max_positions = self.model.config.max_positions
+        if not state.prefilled:
+            cost = self._cost(len(state.ids), 0)
+            state.next_id = self._forward(state, state.ids, 0)
+            state.prefilled = True
+            if self.max_new_tokens == 0 or len(state.ids) >= max_positions:
+                state.done = True
+            return state.done, cost
+        # one iteration of generate_cached's greedy loop: append the pending
+        # token, then (unless finished) project it through the cache
+        state.ids.append(state.next_id)
+        state.emitted += 1
+        if state.emitted >= self.max_new_tokens or len(state.ids) >= max_positions:
+            state.done = True
+            return True, 0.0 if self.step_cost is not None else None
+        cost = self._cost(1, len(state.ids) - 1)
+        state.next_id = self._forward(state, [state.ids[-1]], len(state.ids) - 1)
+        return False, cost
+
+    def _cost(self, new_positions: int, cache_len: int) -> float | None:
+        if self.step_cost is None:
+            return None
+        return self.step_cost(new_positions, cache_len)
+
+    def result(self, state: _DecodeState) -> np.ndarray:
+        if not state.done:
+            raise ValueError(f"request {state.request.id} is still decoding")
+        return np.asarray(state.ids, dtype=np.int64)
+
+
+@dataclass
+class _ForwardState:
+    """One pending single-forward (classification-style) request."""
+
+    request: Request
+    slot: KVSlot
+    ids: np.ndarray
+    output: np.ndarray | None = None
+    done: bool = False
+    comm_stats: list = field(default_factory=list)
+
+
+class VoltageForwardSequencer:
+    """One distributed forward per request via the threaded Voltage runtime."""
+
+    num_layers = 0  # slots carry no KV state; the pool only bounds concurrency
+
+    def __init__(
+        self,
+        system,
+        service_time: Callable[[int], float] | None = None,
+        prompt_seed: int = 0,
+    ):
+        """``system`` is a :class:`~repro.systems.voltage.VoltageSystem`;
+        ``service_time(n)`` supplies the virtual-time cost of one request
+        (e.g. the analytic Voltage latency), None charges measured wall."""
+        self.system = system
+        self.service_time = service_time
+        self.prompt_seed = prompt_seed
+
+    @property
+    def slot_capacity(self) -> int:
+        return self.system.model.config.max_positions
+
+    def prompt_for(self, request: Request) -> np.ndarray:
+        rng = np.random.default_rng([self.prompt_seed, request.id])
+        n = min(request.n, self.system.model.config.max_positions)
+        return rng.integers(0, self.system.model.config.vocab_size, size=n, dtype=np.int64)
+
+    def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
+        prompt = prompt if prompt is not None else self.prompt_for(request)
+        output, _ = self.system.execute_threaded(prompt)
+        return output
+
+    def begin(self, request: Request, prompt: np.ndarray, slot: KVSlot) -> _ForwardState:
+        return _ForwardState(request=request, slot=slot, ids=np.asarray(prompt))
+
+    def step(self, state: _ForwardState) -> tuple[bool, float | None]:
+        if state.done:
+            raise ValueError(f"request {state.request.id} already finished")
+        state.output, state.comm_stats = self.system.execute_threaded(state.ids)
+        state.done = True
+        cost = self.service_time(state.ids.shape[0]) if self.service_time else None
+        return True, cost
+
+    def result(self, state: _ForwardState) -> np.ndarray:
+        if not state.done:
+            raise ValueError(f"request {state.request.id} has not run")
+        return state.output

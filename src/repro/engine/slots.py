@@ -1,0 +1,103 @@
+"""Bounded pool of preallocated KV-cache slots for in-flight decodes.
+
+The engine's memory story (INTERNALS §10): a fixed number of *slots*, each
+owning one :class:`~repro.models.cache.LayerKVCache` per model layer plus a
+:class:`~repro.tensor.workspace.Workspace` for per-step scratch.  A request
+occupies exactly one slot from prefill to completion; when it finishes (or
+is preempted/cancelled) the slot's caches are rolled back with
+``truncate(0)`` — the backing buffers and the workspace survive, so the
+next request appends into memory that was allocated once, early in the
+engine's life (the PR 3 capacity-hint machinery does the sizing).
+
+The pool is the engine's *admission currency*: a decode cannot start
+without a slot, and a saturated pool is what turns arrivals into queueing
+and — past the queue bound — into load shedding.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.models.cache import LayerKVCache
+from repro.tensor.workspace import Workspace
+
+__all__ = ["KVSlot", "SlotPool"]
+
+
+class KVSlot:
+    """One slot: per-layer caches + scratch workspace + a reuse generation."""
+
+    def __init__(self, index: int, num_layers: int, capacity: int):
+        self.index = index
+        self.caches = [LayerKVCache(capacity=capacity) for _ in range(num_layers)]
+        self.workspace = Workspace()
+        self.generation = 0  # bumped on every recycle; stale holders can detect reuse
+
+    @property
+    def length(self) -> int:
+        return self.caches[0].length if self.caches else 0
+
+    def reset(self) -> None:
+        """Roll every layer cache back to empty, keeping the buffers."""
+        for cache in self.caches:
+            cache.truncate(0)
+        self.generation += 1
+
+    def allocations(self) -> int:
+        """Total backing-buffer allocations across the slot's caches."""
+        return sum(cache.allocations for cache in self.caches)
+
+
+class SlotPool:
+    """Fixed-size pool; acquire/release is thread-safe and non-blocking.
+
+    ``num_layers`` may be 0 for sequencers that keep no per-request model
+    state (e.g. the one-shot Voltage forward path) — the pool then only
+    bounds concurrency.
+    """
+
+    def __init__(self, num_slots: int, num_layers: int, capacity: int):
+        if num_slots < 1:
+            raise ValueError(f"need >= 1 slot, got {num_slots}")
+        if num_layers < 0 or capacity < 1:
+            raise ValueError(
+                f"invalid slot geometry: num_layers={num_layers}, capacity={capacity}"
+            )
+        self.num_slots = num_slots
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._slots = [KVSlot(i, num_layers, capacity) for i in range(num_slots)]
+        self._free = list(reversed(self._slots))  # pop() hands out slot 0 first
+        self._in_use: set[int] = set()
+
+    @property
+    def in_use(self) -> int:
+        with self._lock:
+            return len(self._in_use)
+
+    @property
+    def num_free(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def acquire(self) -> KVSlot | None:
+        """A free slot, or None when the pool is saturated (never blocks)."""
+        with self._lock:
+            if not self._free:
+                return None
+            slot = self._free.pop()
+            self._in_use.add(slot.index)
+            return slot
+
+    def release(self, slot: KVSlot) -> None:
+        """Recycle a slot: truncate its caches and return it to the pool."""
+        with self._lock:
+            if slot.index not in self._in_use:
+                raise ValueError(f"slot {slot.index} is not checked out")
+            self._in_use.remove(slot.index)
+            slot.reset()
+            self._free.append(slot)
+
+    def allocations(self) -> int:
+        """Backing allocations across all slots (steady state: one per cache)."""
+        return sum(slot.allocations() for slot in self._slots)

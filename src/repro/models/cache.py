@@ -94,6 +94,22 @@ class LayerKVCache:
         self._k_buf, self._v_buf = k_buf, v_buf
         self.allocations += 1
 
+    def truncate(self, length: int) -> None:
+        """Roll back to ``length`` cached positions without reallocating.
+
+        The backing buffers (and their dtype) are kept, so a preempted or
+        cancelled decode can release its positions and the next decode
+        appends into the same memory — ``truncate(0)`` is how the engine's
+        slot pool recycles a cache.  Only shrinking is allowed: positions
+        beyond the current length do not exist and cannot be restored.
+        """
+        length = int(length)
+        if not 0 <= length <= self._length:
+            raise ValueError(
+                f"truncate length must be in [0, {self._length}], got {length}"
+            )
+        self._length = length
+
     def append(self, k_new: np.ndarray, v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Copy new positions into the cache; returns views of the full K and V.
 
@@ -145,6 +161,11 @@ class KVCache:
     def length(self) -> int:
         """Positions already cached (uniform across layers by construction)."""
         return self.layers[0].length if self.layers else 0
+
+    def truncate(self, length: int) -> None:
+        """Roll back every layer to ``length`` positions (buffers kept)."""
+        for layer in self.layers:
+            layer.truncate(length)
 
 
 def _cached_attention(
@@ -251,6 +272,20 @@ class DecoderLayerKVCache:
     @property
     def length(self) -> int:
         return self.self_cache.length
+
+    def truncate(self, length: int) -> None:
+        """Roll back the self-attention cache to ``length`` positions.
+
+        Truncating to zero also drops the memoised cross-attention K/V: a
+        decode restarted from scratch belongs to a (potentially) different
+        encoder memory, so keeping the projections would silently attend a
+        stale source sentence.  Partial rollbacks keep them — the memory is
+        fixed for the whole translation the decode is resuming.
+        """
+        self.self_cache.truncate(length)
+        if length == 0:
+            self.memory_k = None
+            self.memory_v = None
 
 
 def decoder_layer_forward_cached(

@@ -10,7 +10,7 @@ quantify the claim: Poisson (sporadic), uniform (steady), and bursty
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
@@ -19,17 +19,42 @@ __all__ = ["Request", "uniform_arrivals", "poisson_arrivals", "bursty_arrivals"]
 
 @dataclass(frozen=True, order=True)
 class Request:
-    """One inference request: when it arrives and how long its input is."""
+    """One inference request: when it arrives and how long its input is.
+
+    ``deadline`` (absolute, same time base as ``arrival``) and ``priority``
+    (higher = more urgent) are optional SLO annotations consumed by the
+    online engine's scheduler and by the deadline-miss accounting of
+    :class:`~repro.serving.stats.ServingStats`; both default to no-ops and
+    are excluded from ordering so arrival-sorted streams behave exactly as
+    before.
+    """
 
     arrival: float
     n: int
     id: int = 0
+    deadline: float | None = field(default=None, compare=False)
+    priority: int = field(default=0, compare=False)
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
             raise ValueError(f"arrival time must be >= 0, got {self.arrival}")
         if self.n < 1:
             raise ValueError(f"sequence length must be >= 1, got {self.n}")
+        if self.deadline is not None and self.deadline <= self.arrival:
+            raise ValueError(
+                f"deadline must fall after arrival: "
+                f"deadline={self.deadline}, arrival={self.arrival}"
+            )
+
+    def with_slo(self, slo: float | None = None, priority: int | None = None) -> "Request":
+        """Copy with a relative SLO budget (``deadline = arrival + slo``)."""
+        if slo is not None and slo <= 0:
+            raise ValueError(f"slo budget must be > 0, got {slo}")
+        return replace(
+            self,
+            deadline=self.arrival + slo if slo is not None else self.deadline,
+            priority=self.priority if priority is None else priority,
+        )
 
 
 def _lengths(count: int, n_tokens: int | tuple[int, int], rng: np.random.Generator):

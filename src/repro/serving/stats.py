@@ -42,6 +42,12 @@ class ServedRequest:
     def service(self) -> float:
         return self.finish - self.start
 
+    @property
+    def deadline_missed(self) -> bool:
+        """True when the request carried a deadline and finished after it."""
+        deadline = self.request.deadline
+        return deadline is not None and self.finish > deadline
+
 
 @dataclass(frozen=True)
 class ServingStats:
@@ -56,6 +62,8 @@ class ServingStats:
     mean_waiting: float
     throughput_rps: float
     makespan: float
+    deadline_count: int = 0
+    deadline_misses: int = 0
 
     @classmethod
     def from_served(cls, served: list[ServedRequest]) -> "ServingStats":
@@ -74,15 +82,28 @@ class ServingStats:
             mean_waiting=float(np.mean([s.waiting for s in served])),
             throughput_rps=len(served) / makespan if makespan > 0 else float("inf"),
             makespan=float(makespan),
+            deadline_count=sum(1 for s in served if s.request.deadline is not None),
+            deadline_misses=sum(1 for s in served if s.deadline_missed),
         )
 
+    @property
+    def deadline_miss_rate(self) -> float:
+        """Fraction of deadline-carrying requests that finished late (0.0
+        when no request declared a deadline)."""
+        return self.deadline_misses / self.deadline_count if self.deadline_count else 0.0
+
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.count} requests | latency mean {self.mean_latency * 1e3:.1f} ms, "
             f"p50 {self.p50_latency * 1e3:.1f}, p95 {self.p95_latency * 1e3:.1f}, "
             f"p99 {self.p99_latency * 1e3:.1f} ms | wait {self.mean_waiting * 1e3:.1f} ms "
             f"| {self.throughput_rps:.2f} req/s"
         )
+        if self.deadline_count:
+            text += (
+                f" | {self.deadline_misses}/{self.deadline_count} deadline misses"
+            )
+        return text
 
 
 def queue_depth_at_arrivals(served: list[ServedRequest]) -> list[int]:
@@ -119,6 +140,9 @@ def record_serving_metrics(
         service.observe(s.service)
         latency.observe(s.latency)
     registry.counter("serving.requests_total", server=server).inc(len(served))
+    misses = sum(1 for s in served if s.deadline_missed)
+    if misses:
+        registry.counter("serving.deadline_misses_total", server=server).inc(misses)
     depth = registry.histogram("serving.queue_depth", server=server)
     depths = queue_depth_at_arrivals(served)
     for d in depths:

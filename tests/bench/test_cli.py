@@ -54,6 +54,40 @@ class TestCli:
         assert main(["serving"]) == 0
         assert "serving_tail" in capsys.readouterr().out
 
+    def test_serving_json_writes_dump(self, tmp_path, capsys):
+        """Regression: --json OUT/ must produce serving_tail.json, like
+        every other figure target."""
+        assert main(["serving", "--json", str(tmp_path)]) == 0
+        data = json.loads((tmp_path / "serving_tail.json").read_text())
+        assert data["name"] == "serving_tail"
+
+    def test_serve_target_runs_sweep_and_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert main(["serve", "--quick", "--output", str(out)]) == 0
+        printed = capsys.readouterr().out
+        assert "overload" in printed and "bound" in printed
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == "repro-bench-serve/v1"
+        assert "quick" in doc["modes"]
+
+    def test_serve_check_gates_against_fresh_baseline(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        assert main(["serve", "--quick", "--output", str(out)]) == 0
+        capsys.readouterr()
+        assert main([
+            "serve", "--quick", "--check",
+            "--output", str(out), "--baseline", str(out),
+        ]) == 0
+        assert "check: within tolerance" in capsys.readouterr().out
+
+    def test_serve_check_missing_baseline_fails(self, tmp_path, capsys):
+        assert main([
+            "serve", "--quick", "--check",
+            "--output", str(tmp_path / "out.json"),
+            "--baseline", str(tmp_path / "missing.json"),
+        ]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
     def test_comm_includes_memory_table(self, capsys):
         assert main(["comm"]) == 0
         assert "memory_tradeoff" in capsys.readouterr().out

@@ -1,0 +1,159 @@
+"""Components of the online-serving bench (``repro.bench serve``).
+
+The full sweep runs in CI's engine-soak lane; these tests cover the pieces
+fast — the analytic cost model's agreement with the sequencer, the report
+schema/merge, the regression gate, and the committed baseline's invariants
+(monotone sweep, overload bound demonstrated).
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import serve
+
+BASELINE = Path(__file__).resolve().parents[2] / "BENCH_serve.json"
+
+
+class TestCostModel:
+    def test_step_cost_monotone_in_both_terms(self):
+        assert serve.step_cost(2, 0) > serve.step_cost(1, 0)
+        assert serve.step_cost(1, 10) > serve.step_cost(1, 0)
+
+    def test_request_cost_counts_the_sequencer_forwards(self):
+        """prefill + (max_new - 1) decode forwards, nothing more: the final
+        token is appended without a forward, exactly like the sequencer."""
+        prompt_len, max_new = 5, 4
+        expected = serve.step_cost(prompt_len, 0)
+        for i in range(max_new - 1):
+            expected += serve.step_cost(1, prompt_len + i)
+        assert serve.request_cost(prompt_len, max_new) == pytest.approx(expected)
+
+    def test_request_cost_with_zero_new_tokens_is_prefill_only(self):
+        assert serve.request_cost(6, 0) == pytest.approx(serve.step_cost(6, 0))
+
+
+class TestReportFile:
+    def payload(self, p99=0.5):
+        return {
+            "sweep": [
+                {
+                    "offered_ratio": 1.0,
+                    "p50_latency_s": 0.1,
+                    "p99_latency_s": p99,
+                    "shed_rate": 0.0,
+                    "throughput_rps": 10.0,
+                }
+            ],
+            "overload": {
+                "latency_bound_s": 1.0,
+                "with_shedding": {"p99_latency_s": 0.6},
+                "without_shedding": {"p99_latency_s": 4.0},
+                "bound_held_with_shedding": True,
+                "bound_exceeded_without_shedding": True,
+            },
+        }
+
+    def test_emit_writes_schema_and_merges_modes(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        serve.emit_report(self.payload(p99=0.5), "quick", path)
+        serve.emit_report(self.payload(p99=0.7), "full", path)
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == serve.SCHEMA
+        assert set(doc["modes"]) == {"quick", "full"}
+        assert doc["modes"]["quick"]["sweep"][0]["p99_latency_s"] == 0.5
+
+    def test_emit_replaces_corrupt_file(self, tmp_path):
+        path = tmp_path / "BENCH_serve.json"
+        path.write_text("{not json")
+        doc = serve.emit_report(self.payload(), "quick", path)
+        assert doc["schema"] == serve.SCHEMA
+
+
+class TestRegressionGate:
+    def write_baseline(self, tmp_path, payload, mode="quick"):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"schema": serve.SCHEMA, "modes": {mode: payload}}))
+        return path
+
+    def payload(self, **overrides):
+        base = TestReportFile().payload()
+        base["sweep"][0].update(
+            {k: v for k, v in overrides.items() if k in base["sweep"][0]}
+        )
+        for key in ("bound_held_with_shedding", "bound_exceeded_without_shedding"):
+            if key in overrides:
+                base["overload"][key] = overrides[key]
+        return base
+
+    def test_identical_run_passes(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        assert serve.check_regression(self.payload(), "quick", baseline) == []
+
+    def test_latency_drift_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(
+            self.payload(p99_latency_s=2.0), "quick", baseline
+        )
+        assert errors and "p99_latency_s" in errors[0]
+
+    def test_shed_rate_drift_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(self.payload(shed_rate=0.2), "quick", baseline)
+        assert errors and "shed rate" in errors[0]
+
+    def test_lost_overload_bound_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(
+            self.payload(bound_held_with_shedding=False), "quick", baseline
+        )
+        assert errors and "bound" in errors[0]
+
+    def test_missing_baseline_and_mode_reported(self, tmp_path):
+        assert serve.check_regression(self.payload(), "quick", tmp_path / "nope.json")
+        baseline = self.write_baseline(tmp_path, self.payload(), mode="full")
+        errors = serve.check_regression(self.payload(), "quick", baseline)
+        assert errors and "quick" in errors[0]
+
+
+class TestCommittedBaseline:
+    """The repo-root BENCH_serve.json is what CI gates against — it must
+    stay machine-readable and keep demonstrating the claims."""
+
+    @pytest.fixture(scope="class")
+    def doc(self):
+        return json.loads(BASELINE.read_text())
+
+    def test_schema_and_modes(self, doc):
+        assert doc["schema"] == serve.SCHEMA
+        assert set(doc["modes"]) >= {"quick", "full"}
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_sweep_is_monotone_in_offered_load(self, doc, mode):
+        sweep = doc["modes"][mode]["sweep"]
+        ratios = [point["offered_ratio"] for point in sweep]
+        assert ratios == sorted(ratios) and len(ratios) >= 4
+        p50s = [point["p50_latency_s"] for point in sweep]
+        # queueing theory: latency rises with offered load (weakly, to
+        # absorb the flat low-load region)
+        assert all(b >= a * 0.9 for a, b in zip(p50s, p50s[1:]))
+        assert sweep[-1]["shed_rate"] > 0  # overload end of the sweep sheds
+        assert sweep[0]["shed_rate"] == 0  # light load does not
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_overload_comparison_demonstrates_the_bound(self, doc, mode):
+        overload = doc["modes"][mode]["overload"]
+        assert overload["bound_held_with_shedding"]
+        assert overload["bound_exceeded_without_shedding"]
+        assert (
+            overload["with_shedding"]["p99_latency_s"]
+            <= overload["latency_bound_s"]
+            < overload["without_shedding"]["p99_latency_s"]
+        )
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_slot_occupancy_rises_with_load(self, doc, mode):
+        sweep = doc["modes"][mode]["sweep"]
+        assert sweep[-1]["mean_slot_occupancy"] > sweep[0]["mean_slot_occupancy"]
+        assert all(0 <= point["mean_slot_occupancy"] <= 1 for point in sweep)

@@ -1,0 +1,23 @@
+"""Shared fixtures for engine tests: a tiny GPT-2 plus sequencer factory."""
+
+import numpy as np
+import pytest
+
+from repro.engine import GPT2CachedSequencer
+from repro.models import GPT2Model, tiny_config
+
+
+@pytest.fixture
+def gpt2():
+    cfg = tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, num_layers=2)
+    return GPT2Model(cfg, rng=np.random.default_rng(13))
+
+
+def constant_step_cost(new_positions, cache_len):
+    """Flat 10 ms virtual seconds per forward — keeps the math in tests easy."""
+    return 0.01
+
+
+@pytest.fixture
+def sequencer(gpt2):
+    return GPT2CachedSequencer(gpt2, max_new_tokens=6, step_cost=constant_step_cost)

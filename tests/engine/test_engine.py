@@ -1,0 +1,283 @@
+"""Tests for the engine worker loop: the soak guarantee, shedding, policies.
+
+The acceptance contract (ISSUE 4): under heavy concurrency with forced
+preemptions, every served output is bit-identical to the offline
+``generate_cached`` reference, nothing deadlocks, and no request vanishes
+without an explicit shed record.  The overload test pins the documented
+latency bound: with deadline shedding, admitted p99 stays within
+``slo + num_slots × service``; without shedding it provably does not.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.engine import (
+    EngineConfig,
+    GPT2CachedSequencer,
+    InferenceEngine,
+    VirtualClock,
+    VoltageForwardSequencer,
+    WallClock,
+)
+from repro.serving.arrivals import Request, bursty_arrivals, uniform_arrivals
+
+from .conftest import constant_step_cost
+
+
+def check_bit_identity(report, sequencer, requests):
+    """Every completed output must equal a fresh offline decode."""
+    outputs = report.outputs()
+    shed_ids = {s.request.id for s in report.shed}
+    for request in requests:
+        if request.id in shed_ids:
+            continue
+        np.testing.assert_array_equal(
+            outputs[request.id], sequencer.offline_reference(request),
+            err_msg=f"request {request.id} diverged from the offline decode",
+        )
+
+
+class TestSoak:
+    def test_seeded_soak_bit_identical_under_preemption(self, gpt2):
+        """The headline guarantee: 24 simultaneous requests over 4 slots
+        with chaos preemptions firing — every output bit-identical to the
+        offline decode, every request accounted for."""
+        sequencer = GPT2CachedSequencer(gpt2, max_new_tokens=6, step_cost=constant_step_cost)
+        config = EngineConfig(
+            num_slots=4, chaos_preempt_period=5, chaos_max_preemptions=2, chaos_seed=7
+        )
+        engine = InferenceEngine(sequencer, config)
+        requests = [
+            r.with_slo(slo=60.0)
+            for r in bursty_arrivals(bursts=2, burst_size=12, burst_gap=0.005, n_tokens=(3, 9))
+        ]
+        report = engine.run(requests)
+
+        # nothing shed, nothing lost, nothing deadlocked
+        assert len(report.completed) == len(requests) == 24
+        assert report.shed == []
+        # the stream really was concurrent: every request had arrived
+        # before the first one finished (24 in the system at once)
+        first_finish = min(c.finish for c in report.completed)
+        assert all(r.arrival < first_finish for r in requests)
+        # chaos preemptions actually fired, and their work was redone
+        assert report.preemptions_total > 0
+        minimal_steps = sum(
+            min(sequencer.max_new_tokens, 1) + sequencer.max_new_tokens for _ in requests
+        )
+        assert report.steps_total > minimal_steps  # includes redone forwards
+        check_bit_identity(report, sequencer, requests)
+
+    def test_soak_is_deterministic(self, gpt2):
+        def run():
+            sequencer = GPT2CachedSequencer(
+                gpt2, max_new_tokens=5, step_cost=constant_step_cost
+            )
+            config = EngineConfig(num_slots=3, chaos_preempt_period=4, chaos_seed=1)
+            requests = bursty_arrivals(bursts=1, burst_size=16, burst_gap=1.0)
+            return InferenceEngine(sequencer, config).run(requests)
+
+        a, b = run(), run()
+        assert [c.request.id for c in a.completed] == [c.request.id for c in b.completed]
+        assert [c.finish for c in a.completed] == [c.finish for c in b.completed]
+
+    def test_slot_buffers_survive_across_runs(self, sequencer):
+        """The pool persists between runs: the second stream decodes into
+        buffers allocated by the first (steady state allocates nothing)."""
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=2))
+        engine.run(uniform_arrivals(6, interval=0.01, n_tokens=5))
+        baseline = engine.pool.allocations()
+        report = engine.run(uniform_arrivals(6, interval=0.01, n_tokens=5))
+        assert engine.pool.allocations() == baseline
+        assert len(report.completed) == 6
+
+
+class TestBitIdentity:
+    def test_single_request_matches_offline(self, sequencer):
+        report = InferenceEngine(sequencer, EngineConfig(num_slots=1)).run(
+            [Request(0.0, 6, id=0)]
+        )
+        np.testing.assert_array_equal(
+            report.outputs()[0], sequencer.offline_reference(Request(0.0, 6, id=0))
+        )
+
+    def test_explicit_prompts_override_synthetic(self, gpt2, sequencer):
+        prompt = np.array([7, 3, 11], dtype=np.int64)
+        report = InferenceEngine(sequencer, EngineConfig(num_slots=1)).run(
+            [Request(0.0, 3, id=0)], prompts={0: prompt}
+        )
+        np.testing.assert_array_equal(
+            report.outputs()[0], gpt2.generate_cached(prompt, max_new_tokens=6)
+        )
+
+
+class TestOverload:
+    def make_stream(self, count, interval, slo):
+        return [r.with_slo(slo) for r in uniform_arrivals(count, interval, n_tokens=4)]
+
+    def test_shedding_bounds_admitted_p99_where_open_queue_does_not(self, gpt2):
+        """2x overload, the documented bound: shedding keeps admitted p99
+        within ``slo + num_slots * service``; no shedding blows past it."""
+        max_new, num_slots = 4, 2
+        service = 0.01 * max_new  # 4 forwards at the constant step cost
+        slo = 4 * service
+        bound = slo + num_slots * service
+        # capacity is num_slots/service = 50 rps; offer 100 rps
+        stream = self.make_stream(count=50, interval=0.01, slo=slo)
+
+        def engine(shedding):
+            sequencer = GPT2CachedSequencer(
+                gpt2, max_new_tokens=max_new, step_cost=constant_step_cost
+            )
+            config = EngineConfig(
+                num_slots=num_slots,
+                max_queue=2 * num_slots if shedding else None,
+                shed_on_deadline=shedding,
+                service_estimate=(lambda r: service) if shedding else None,
+            )
+            return InferenceEngine(sequencer, config)
+
+        shed_report = engine(shedding=True).run(stream)
+        open_report = engine(shedding=False).run(stream)
+
+        assert shed_report.shed_rate > 0.2  # overload really forced shedding
+        assert shed_report.stats().p99_latency <= bound
+        assert open_report.shed_rate == 0.0
+        assert len(open_report.completed) == len(stream)
+        assert open_report.stats().p99_latency > bound
+
+    def test_queue_bound_sheds_with_backpressure(self, sequencer):
+        config = EngineConfig(num_slots=1, max_queue=1)
+        report = InferenceEngine(sequencer, config).run(
+            bursty_arrivals(bursts=1, burst_size=5, burst_gap=1.0)
+        )
+        assert len(report.completed) + len(report.shed) == 5
+        assert all(s.reason == "queue-full" for s in report.shed)
+        assert report.shed_rate == pytest.approx(len(report.shed) / 5)
+
+
+class TestPolicies:
+    def test_preemptive_priority_evicts_running_low_priority(self, gpt2):
+        sequencer = GPT2CachedSequencer(gpt2, max_new_tokens=6, step_cost=constant_step_cost)
+        config = EngineConfig(num_slots=1, policy="priority", preemptive=True)
+        requests = [
+            Request(0.0, 4, id=0, priority=0),
+            Request(0.0, 4, id=1, priority=0),
+            Request(0.02, 4, id=2, priority=5),
+        ]
+        report = InferenceEngine(sequencer, config).run(requests)
+        assert len(report.completed) == 3  # the victim was re-queued, not lost
+        assert report.preemptions_total >= 1
+        assert report.completed[0].request.id == 2  # high priority finished first
+        check_bit_identity(report, sequencer, requests)
+
+    def test_edf_serves_in_deadline_order(self, sequencer):
+        config = EngineConfig(num_slots=1, policy="edf", shed_on_deadline=False)
+        requests = [
+            Request(0.0, 4, id=0, deadline=10.0),
+            Request(0.0, 4, id=1, deadline=5.0),
+            Request(0.0, 4, id=2, deadline=2.0),
+        ]
+        report = InferenceEngine(sequencer, config).run(requests)
+        assert [c.request.id for c in report.completed] == [2, 1, 0]
+
+
+class TestVoltagePath:
+    def test_threaded_voltage_outputs_match_offline(self, gpt2):
+        from repro.cluster.spec import ClusterSpec
+        from repro.systems import VoltageSystem
+
+        system = VoltageSystem(gpt2, ClusterSpec.homogeneous(2, gflops=5.0, bandwidth_mbps=500))
+        sequencer = VoltageForwardSequencer(system, service_time=lambda n: 0.05)
+        report = InferenceEngine(sequencer, EngineConfig(num_slots=2)).run(
+            uniform_arrivals(5, interval=0.02, n_tokens=(6, 12))
+        )
+        assert len(report.completed) == 5
+        for completed in report.completed:
+            np.testing.assert_array_equal(
+                completed.output, sequencer.offline_reference(completed.request)
+            )
+
+
+class TestWallClockReplay:
+    def test_dilated_wall_clock_serves_live(self, gpt2):
+        sequencer = GPT2CachedSequencer(gpt2, max_new_tokens=3)  # measured wall time
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=2), clock=WallClock(200.0))
+        requests = uniform_arrivals(4, interval=0.5, n_tokens=4)  # 2.5 ms wall apart
+        report = engine.run(requests)
+        assert len(report.completed) == 4
+        assert report.makespan > 0
+        check_bit_identity(report, sequencer, requests)
+
+
+class TestObservability:
+    def test_counters_and_gauges_recorded(self, sequencer):
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            config = EngineConfig(num_slots=1, max_queue=1)
+            InferenceEngine(sequencer, config).run(
+                bursty_arrivals(bursts=1, burst_size=4, burst_gap=1.0)
+            )
+        assert registry.counter("engine.completed_total").value >= 1
+        assert registry.counter("engine.shed_total", reason="queue-full").value >= 1
+        assert registry.counter("engine.steps_total").value > 0
+        # gauges are zeroed once the run drains
+        assert registry.gauge("engine.queue_depth").value == 0
+        assert registry.gauge("engine.slots_in_use").value == 0
+
+    def test_trace_has_engine_track_spans(self, sequencer):
+        tracer = obs.Tracer()
+        with obs.use_tracer(tracer):
+            InferenceEngine(sequencer, EngineConfig(num_slots=2)).run(
+                uniform_arrivals(3, interval=0.01, n_tokens=4)
+            )
+        names = {span.name for span in tracer.spans}
+        assert "engine.run" in names
+        assert any(name.startswith("request ") for name in names)
+
+
+class TestReport:
+    def test_occupancy_and_stats_views(self, sequencer):
+        report = InferenceEngine(sequencer, EngineConfig(num_slots=2)).run(
+            uniform_arrivals(8, interval=0.01, n_tokens=4)
+        )
+        assert 0.0 < report.mean_slot_occupancy <= 1.0
+        stats = report.stats()
+        assert stats.count == 8
+        assert stats.p99_latency >= stats.p50_latency > 0
+
+    def test_empty_stream(self, sequencer):
+        report = InferenceEngine(sequencer, EngineConfig(num_slots=1)).run([])
+        assert report.completed == [] and report.shed == []
+        assert report.makespan == 0.0
+        assert report.mean_slot_occupancy == 0.0
+
+
+class TestValidation:
+    def test_config_rejects_bad_knobs(self):
+        with pytest.raises(ValueError, match="slot"):
+            EngineConfig(num_slots=0)
+        with pytest.raises(ValueError, match="priority"):
+            EngineConfig(preemptive=True, policy="fifo")
+        with pytest.raises(ValueError, match="chaos_preempt_period"):
+            EngineConfig(chaos_preempt_period=0)
+
+    def test_duplicate_request_ids_rejected(self, sequencer):
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=1))
+        with pytest.raises(ValueError, match="unique"):
+            engine.run([Request(0.0, 4, id=1), Request(1.0, 4, id=1)])
+
+    def test_dirty_slot_rejected_by_sequencer(self, gpt2, sequencer, rng):
+        from repro.engine import SlotPool
+
+        pool = SlotPool(1, num_layers=gpt2.num_layers, capacity=16)
+        slot = pool.acquire()
+        state = sequencer.begin(Request(0.0, 4, id=0), np.array([1, 2, 3]), slot)
+        sequencer.step(state)  # prefill populates the caches
+        with pytest.raises(ValueError, match="dirty"):
+            sequencer.begin(Request(0.0, 4, id=1), np.array([1, 2]), slot)
+
+    def test_virtual_clock_default(self, sequencer):
+        engine = InferenceEngine(sequencer)
+        assert isinstance(engine.clock, VirtualClock)

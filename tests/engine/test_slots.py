@@ -1,0 +1,82 @@
+"""Tests for the preallocated KV-slot pool."""
+
+import numpy as np
+import pytest
+
+from repro.engine import SlotPool
+
+
+def fill(slot, positions, rng, hidden=8):
+    """Append ``positions`` single-token steps into every layer cache."""
+    for _ in range(positions):
+        for cache in slot.caches:
+            step = rng.normal(size=(2, 1, hidden)).astype(np.float32)
+            cache.append(step, step.copy())
+
+
+class TestSlotPool:
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError, match="slot"):
+            SlotPool(0, num_layers=2, capacity=8)
+        with pytest.raises(ValueError, match="geometry"):
+            SlotPool(2, num_layers=-1, capacity=8)
+        with pytest.raises(ValueError, match="geometry"):
+            SlotPool(2, num_layers=2, capacity=0)
+
+    def test_acquire_hands_out_slot_zero_first(self):
+        pool = SlotPool(3, num_layers=1, capacity=8)
+        assert pool.acquire().index == 0
+        assert pool.acquire().index == 1
+
+    def test_acquire_returns_none_when_saturated(self):
+        pool = SlotPool(2, num_layers=1, capacity=8)
+        assert pool.acquire() is not None
+        assert pool.acquire() is not None
+        assert pool.acquire() is None
+        assert pool.num_free == 0
+        assert pool.in_use == 2
+
+    def test_release_recycles_and_truncates(self, rng):
+        pool = SlotPool(1, num_layers=2, capacity=8)
+        slot = pool.acquire()
+        fill(slot, 4, rng)
+        assert slot.length == 4
+        pool.release(slot)
+        assert slot.length == 0
+        assert pool.num_free == 1
+
+    def test_release_bumps_generation(self, rng):
+        pool = SlotPool(1, num_layers=1, capacity=8)
+        slot = pool.acquire()
+        generation = slot.generation
+        pool.release(slot)
+        assert slot.generation == generation + 1
+
+    def test_release_unacquired_slot_rejected(self):
+        pool = SlotPool(2, num_layers=1, capacity=8)
+        slot = pool.acquire()
+        pool.release(slot)
+        with pytest.raises(ValueError, match="not checked out"):
+            pool.release(slot)
+
+    def test_buffers_survive_recycling(self, rng):
+        """The engine's steady-state memory story: recycling a slot many
+        times must not allocate fresh backing buffers."""
+        pool = SlotPool(1, num_layers=2, capacity=8)
+        slot = pool.acquire()
+        fill(slot, 8, rng)
+        pool.release(slot)
+        baseline = pool.allocations()
+        for _ in range(5):
+            slot = pool.acquire()
+            fill(slot, 8, rng)
+            pool.release(slot)
+        assert pool.allocations() == baseline
+
+    def test_zero_layer_pool_bounds_concurrency_only(self):
+        pool = SlotPool(2, num_layers=0, capacity=8)
+        slot = pool.acquire()
+        assert slot.caches == []
+        assert slot.length == 0
+        pool.release(slot)
+        assert pool.num_free == 2

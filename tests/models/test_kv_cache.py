@@ -139,6 +139,93 @@ class TestPreallocation:
         np.testing.assert_array_equal(cache.k, np.concatenate(steps, axis=1))
 
 
+class TestTruncate:
+    def test_truncate_rolls_back_length_keeping_buffers(self, rng):
+        cache = LayerKVCache(capacity=8)
+        step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        for _ in range(6):
+            cache.append(step, step.copy())
+        allocations = cache.allocations
+        cache.truncate(2)
+        assert cache.length == 2
+        assert cache.allocations == allocations  # no reallocation
+
+    def test_truncate_zero_then_reappend_no_allocation(self, rng):
+        """The slot-recycling contract: truncate(0) + re-fill must reuse
+        the same backing buffer, byte for byte."""
+        cache = LayerKVCache(capacity=4)
+        step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        cache.append(step, step.copy())
+        cache.truncate(0)
+        allocations = cache.allocations
+        other = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        k_all, _ = cache.append(other, other.copy())
+        assert cache.allocations == allocations
+        np.testing.assert_array_equal(k_all, other)
+
+    def test_truncated_positions_are_overwritten_not_resurrected(self, rng):
+        cache = LayerKVCache()
+        a = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        b = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        cache.append(a, a.copy())
+        cache.truncate(1)
+        k_all, _ = cache.append(b, b.copy())
+        assert k_all.shape == (2, 2, 8)
+        np.testing.assert_array_equal(k_all[:, :1], a[:, :1])
+        np.testing.assert_array_equal(k_all[:, 1:], b)
+
+    def test_truncate_validation(self, rng):
+        cache = LayerKVCache()
+        step = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        cache.append(step, step.copy())
+        with pytest.raises(ValueError, match="truncate"):
+            cache.truncate(-1)
+        with pytest.raises(ValueError, match="truncate"):
+            cache.truncate(2)  # growing back is not possible
+
+    def test_truncate_preserves_dtype_discipline(self, rng):
+        """A recycled cache must still reject the dtype it was not built
+        for — truncation may not reset the pinned dtype."""
+        cache = LayerKVCache(capacity=4)
+        k32 = rng.normal(size=(2, 1, 8)).astype(np.float32)
+        cache.append(k32, k32.copy())
+        cache.truncate(0)
+        k64 = rng.normal(size=(2, 1, 8))
+        with pytest.raises(ValueError, match="dtype mismatch"):
+            cache.append(k64, k64.copy())
+
+    def test_model_cache_truncates_every_layer(self, rng):
+        cache = KVCache.empty(3)
+        step = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        for layer in cache.layers:
+            layer.append(step, step.copy())
+        cache.truncate(1)
+        assert cache.length == 1
+        assert all(layer.length == 1 for layer in cache.layers)
+
+    def test_decoder_cache_partial_truncate_keeps_cross_memo(self, rng):
+        cache = DecoderLayerKVCache()
+        step = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        cache.self_cache.append(step, step.copy())
+        cache.memory_k = rng.normal(size=(2, 5, 8))
+        cache.memory_v = rng.normal(size=(2, 5, 8))
+        cache.truncate(1)
+        assert cache.length == 1
+        assert cache.memory_k is not None  # same translation, memory still valid
+
+    def test_decoder_cache_full_truncate_drops_cross_memo(self, rng):
+        """A from-scratch restart may target a different encoder memory, so
+        the memoised cross K/V must go."""
+        cache = DecoderLayerKVCache()
+        step = rng.normal(size=(2, 2, 8)).astype(np.float32)
+        cache.self_cache.append(step, step.copy())
+        cache.memory_k = rng.normal(size=(2, 5, 8))
+        cache.memory_v = rng.normal(size=(2, 5, 8))
+        cache.truncate(0)
+        assert cache.length == 0
+        assert cache.memory_k is None and cache.memory_v is None
+
+
 class TestLayerForwardCached:
     @pytest.mark.parametrize("norm_style", ["pre", "post"])
     def test_incremental_equals_full_forward(self, rng, norm_style):

@@ -15,6 +15,34 @@ class TestRequest:
     def test_ordering_by_arrival(self):
         assert Request(1.0, 10) < Request(2.0, 5)
 
+    def test_deadline_must_follow_arrival(self):
+        with pytest.raises(ValueError, match="deadline"):
+            Request(arrival=2.0, n=10, deadline=2.0)
+        assert Request(arrival=2.0, n=10, deadline=2.5).deadline == 2.5
+
+    def test_slo_fields_default_off(self):
+        request = Request(0.0, 10)
+        assert request.deadline is None
+        assert request.priority == 0
+
+    def test_with_slo_derives_deadline_from_arrival(self):
+        request = Request(3.0, 10, id=4).with_slo(slo=1.5, priority=2)
+        assert request.deadline == pytest.approx(4.5)
+        assert request.priority == 2
+        assert (request.arrival, request.n, request.id) == (3.0, 10, 4)
+
+    def test_with_slo_rejects_nonpositive_slo(self):
+        with pytest.raises(ValueError, match="slo"):
+            Request(0.0, 10).with_slo(slo=0.0)
+
+    def test_slo_fields_do_not_affect_ordering(self):
+        """deadline/priority are compare=False: sort order stays by
+        (arrival, n, id) so heaps of mixed requests keep working."""
+        a = Request(1.0, 10, deadline=99.0, priority=5)
+        b = Request(2.0, 10)
+        assert a < b
+        assert Request(1.0, 10) == Request(1.0, 10, deadline=50.0, priority=1)
+
 
 class TestUniform:
     def test_spacing(self):
