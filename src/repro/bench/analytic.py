@@ -75,12 +75,16 @@ def voltage_latency(
     pre_flops: int = 0,
     post_flops: int = 0,
     wire_itemsize: int = 4,
+    overlap: bool = False,
 ) -> LatencyBreakdown:
     """Mirror of :class:`repro.systems.voltage.VoltageSystem.run` (Algorithm 2).
 
     ``wire_itemsize`` models compressed activation exchange (4 = float32,
     2 = float16, 1 = int8) — the input broadcast stays float32, matching
-    the system.
+    the system.  ``overlap`` mirrors the system's overlapped mode: each
+    inner All-Gather is charged only its *exposed* time
+    ``max(0, comm - hideable)``, where the hideable compute is the minimum
+    over devices of the next layer's own-partition Q projection.
     """
     sim = ClusterSim(cluster)
     policy = policy if policy is not None else OrderPolicy()
@@ -100,7 +104,24 @@ def voltage_latency(
             activation_bytes(part.length, f, itemsize=wire_itemsize) for part in parts
         ]
         if index + 1 < config.num_layers:
-            latency.add("all-gather", "comm", sim.all_gather(chunk_bytes), layer=index)
+            if overlap:
+                # same scheme every layer here, so the next layer's own
+                # partitions are this layer's — matching VoltageSystem.run
+                hideable = min(
+                    device.compute_seconds(
+                        complexity.prologue_flops(
+                            part.length, f, config.num_heads, config.head_dim
+                        )
+                    )
+                    for device, part in zip(cluster.devices, parts)
+                )
+                exposed, full = sim.all_gather_overlapped(chunk_bytes, hideable)
+                latency.add(
+                    "all-gather (overlapped)", "comm", exposed,
+                    layer=index, hidden_s=full - exposed,
+                )
+            else:
+                latency.add("all-gather", "comm", sim.all_gather(chunk_bytes), layer=index)
         else:
             latency.add("gather to terminal", "comm", sim.gather(chunk_bytes), layer=index)
     _terminal_phases(sim, latency, post_flops, "postprocess (terminal)")

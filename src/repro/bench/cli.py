@@ -290,6 +290,7 @@ def main(argv: list[str] | None = None) -> int:
             _emit(figures.ablation_dynamic_schemes(), args.json)
             _emit(figures.efficient_attention_comm_table(), args.json)
             _emit(figures.ablation_comm_precision(), args.json)
+            _emit(figures.ablation_overlap(), args.json)
         if args.target in ("serving", "all"):
             _emit(figures.serving_tail_latency(), args.json)
         if args.target == "profile":

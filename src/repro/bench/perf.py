@@ -237,20 +237,87 @@ def _bench_voltage_threaded(quick: bool) -> dict:
     )
 
 
+def _bench_voltage_overlap(quick: bool) -> tuple[dict, dict, dict]:
+    """Blocking vs overlapped threaded Voltage on the same deployment.
+
+    Returns (blocking workload, overlapped workload, modeled-comm derived
+    fields).  Outputs are asserted bit-identical before any timing.  The
+    modeled figures come from ``run(overlap=True)``'s per-layer phases —
+    deterministic, unlike the wall clocks (the in-memory queue "network" has
+    near-zero latency, so overlapping threads may not beat blocking slots in
+    wall time on a laptop; the deterministic exposed-comm model is what the
+    regression gate checks).
+    """
+    from repro.bench.workloads import random_text
+    from repro.cluster.spec import ClusterSpec
+    from repro.models import BertModel, bert_large_config
+    from repro.systems.voltage import VoltageSystem
+
+    num_layers = 2 if quick else 4
+    n_words = 48 if quick else 128
+    config = bert_large_config().scaled(num_layers=num_layers)
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    system = VoltageSystem(model, ClusterSpec.homogeneous(4), overlap=True)
+    ids = model.encode_text(random_text(n_words))
+
+    out_blocking, _ = system.execute_threaded(ids, overlap=False)
+    out_overlapped, _ = system.execute_threaded(ids, overlap=True)
+    np.testing.assert_array_equal(out_blocking, out_overlapped)
+
+    def blocking():
+        system.execute_threaded(ids, overlap=False)
+
+    def overlapped():
+        system.execute_threaded(ids, overlap=True)
+
+    meta = dict(
+        model="bert-large", num_layers=num_layers, devices=4,
+        sequence_length=len(ids),
+    )
+    blk = _workload(
+        _time_samples(blocking, repeats=3, warmup=1),
+        _tracemalloc_peak(blocking), **meta, collectives="slot (blocking)",
+    )
+    ovl = _workload(
+        _time_samples(overlapped, repeats=3, warmup=1),
+        _tracemalloc_peak(overlapped), **meta, collectives="ring (overlapped)",
+    )
+
+    modeled = system.run(ids)
+    exposed = list(modeled.meta["exposed_comm_per_layer"])
+    hidden = modeled.meta["hidden_comm_s"]
+    # blocking comm per inner layer = exposed + its share of the hidden time
+    full = [
+        p.seconds + p.hidden_s
+        for p in modeled.latency.phases if p.name == "all-gather (overlapped)"
+    ]
+    derived = {
+        "voltage_overlap_wall_speedup": blk["median_s"] / ovl["median_s"],
+        "voltage_exposed_comm_per_layer_s": exposed,
+        "voltage_modeled_comm_per_layer_s": full,
+        "voltage_overlap_modeled_saving_s": hidden,
+    }
+    return blk, ovl, derived
+
+
 def run_perf_suite(quick: bool = False) -> dict:
     """Run every workload; returns one mode's report payload."""
     opt, leg = _bench_gpt2_cached_decode(quick)
+    overlap_blk, overlap_ovl, overlap_derived = _bench_voltage_overlap(quick)
     workloads = {
         "gpt2_cached_decode": opt,
         "gpt2_cached_decode_legacy": leg,
         "bert_single_pass": _bench_bert_single_pass(quick),
         "voltage_threaded_layer": _bench_voltage_threaded(quick),
+        "voltage_threaded_blocking": overlap_blk,
+        "voltage_threaded_overlapped": overlap_ovl,
     }
     derived = {
         "cached_decode_speedup_vs_legacy": leg["median_s"] / opt["median_s"],
         "cached_decode_peak_drop_vs_legacy": (
             leg["tracemalloc_peak_bytes"] / max(opt["tracemalloc_peak_bytes"], 1)
         ),
+        **overlap_derived,
     }
     return {"workloads": workloads, "derived": derived}
 
@@ -301,4 +368,19 @@ def check_regression(
             f"cached-decode speedup regressed >{factor:g}x: "
             f"{now_ratio:.1f}x now vs {base_ratio:.1f}x baseline"
         )
+    # deterministic overlap invariants (model-derived, host-independent) —
+    # guarded on presence so pre-overlap baselines/payloads still validate
+    derived = payload.get("derived", {})
+    exposed = derived.get("voltage_exposed_comm_per_layer_s")
+    full = derived.get("voltage_modeled_comm_per_layer_s")
+    if exposed is not None and full is not None:
+        for layer, (e, f) in enumerate(zip(exposed, full)):
+            if e > f + 1e-12:
+                errors.append(
+                    f"overlap model: layer {layer} exposed comm {e!r} exceeds "
+                    f"blocking comm {f!r}"
+                )
+        saving = derived.get("voltage_overlap_modeled_saving_s", 0.0)
+        if saving < 0:
+            errors.append(f"overlap model: negative modeled saving {saving!r}")
     return errors

@@ -10,6 +10,19 @@ the analytic communication volumes of Section V-C.
 Workers are threads (NumPy releases the GIL inside BLAS, so this also gives
 genuine parallel speed-up for large partitions, though we never rely on that
 for reported numbers).
+
+Two families of collectives coexist:
+
+- the original **slot-and-barrier** collectives (``all_gather``,
+  ``all_reduce``, ``broadcast``), which exchange references through shared
+  slots and *account* ring-equivalent byte volumes;
+- **ring** collectives (``ring_all_gather``, ``all_gather_async``,
+  ``all_reduce_async``), which actually move framed chunks rank-to-rank over
+  the p2p wire path in K-1 steps, so the byte counters measure *executed*
+  ring traffic (payload plus framing overhead).  The async variants return a
+  :class:`CollectiveHandle` backed by a per-rank communication thread and
+  stream chunks to the caller as they arrive — the mechanism the systems use
+  to overlap next-layer compute with the in-flight gather.
 """
 
 from __future__ import annotations
@@ -24,7 +37,19 @@ import numpy as np
 from repro.obs.metrics import get_registry
 from repro.obs.tracer import current_tracer
 
-__all__ = ["CommStats", "WorkerContext", "ThreadedRuntime", "RuntimeError_"]
+__all__ = [
+    "CommStats",
+    "CollectiveHandle",
+    "WorkerContext",
+    "ThreadedRuntime",
+    "RuntimeError_",
+]
+
+#: Wire frame kind used by the ring collectives (p2p ``send`` uses kind 0).
+_RING_FRAME_KIND = 1
+
+#: Default seconds a blocked receive waits before failing loudly.
+DEFAULT_TIMEOUT = 30.0
 
 
 class RuntimeError_(RuntimeError):
@@ -72,28 +97,160 @@ class _SharedState:
         self.barrier = threading.Barrier(self.world_size)
         self.slots = [None] * self.world_size
 
-    def mailbox(self, src: int, dst: int) -> "queue.Queue":
+    def mailbox(self, src: int, dst: int, tag=None) -> "queue.Queue":
+        """FIFO channel from ``src`` to ``dst``.
+
+        ``tag`` separates concurrent conversations: each ring collective gets
+        its own tagged channels so an async gather's comm thread can never
+        consume a frame meant for the main thread's p2p ``recv`` (or for
+        another in-flight collective).
+        """
         with self.mailbox_lock:
-            key = (src, dst)
+            key = (src, dst, tag)
             if key not in self.mailboxes:
                 self.mailboxes[key] = queue.Queue()
             return self.mailboxes[key]
 
 
+class CollectiveHandle:
+    """Result of a nonblocking ring collective; chunks stream in as it runs.
+
+    Returned immediately by :meth:`WorkerContext.all_gather_async` /
+    :meth:`WorkerContext.all_reduce_async` while a per-rank communication
+    thread drives the ring.  The caller may:
+
+    - poll :meth:`chunk_ready` / block on :meth:`chunk` to consume per-rank
+      chunks *while later ring steps are still in flight* (this is what the
+      overlapped systems do), or
+    - call :meth:`wait` for the fully assembled result, identical to the
+      blocking collective.
+
+    Waits are bounded by the runtime's timeout and fail with rank/step
+    context.  An un-waited handle is safe: the comm thread finishes (or
+    times out) on its own and the runtime joins it before returning.
+    """
+
+    def __init__(self, op: str, ctx: "WorkerContext", axis: int = 0, ranges=None):
+        self.op = op
+        self._ctx = ctx
+        self._axis = axis
+        self._ranges = ranges  # all_reduce: (start, stop) row span per rank
+        k = ctx.world_size
+        self._chunks: list[np.ndarray | None] = [None] * k
+        self._events = [threading.Event() for _ in range(k)]
+        self._done = threading.Event()
+        self._error: BaseException | None = None
+        self._result: np.ndarray | None = None
+        self._assemble_lock = threading.Lock()
+
+    @property
+    def world_size(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def arrival_order(self) -> list[int]:
+        """Source ranks in the order their chunks arrive here (own rank first).
+
+        Step ``s`` of the ring delivers the chunk originating from rank
+        ``(self - 1 - s) mod K``; consuming chunks in this order never
+        blocks longer than one in-flight step.
+        """
+        rank, k = self._ctx.rank, self.world_size
+        return [(rank - s) % k for s in range(k)]
+
+    def range_of(self, src: int) -> tuple[int, int]:
+        """Row span ``[start, stop)`` that rank ``src``'s chunk covers
+        (reduce-scatter ownership; all_gather callers use the partition
+        scheme instead)."""
+        if self._ranges is None:
+            raise ValueError(f"{self.op} chunks carry no row ranges")
+        return self._ranges[src]
+
+    def chunk_ready(self, src: int) -> bool:
+        """True once rank ``src``'s chunk has arrived (non-blocking)."""
+        return self._events[src].is_set() and self._chunks[src] is not None
+
+    def chunk(self, src: int, timeout: float | None = None) -> np.ndarray:
+        """Block until rank ``src``'s chunk arrives and return it."""
+        limit = self._ctx._timeout if timeout is None else timeout
+        if not self._events[src].wait(limit):
+            raise RuntimeError_(
+                self._ctx.rank,
+                TimeoutError(
+                    f"rank {self._ctx.rank} timed out after {limit}s waiting for "
+                    f"the {self.op} chunk from rank {src}"
+                ),
+            )
+        if self._chunks[src] is None:
+            raise self._error  # comm thread failed before delivering this chunk
+        return self._chunks[src]
+
+    def wait(self, timeout: float | None = None) -> np.ndarray:
+        """Block until the collective completes; return the assembled result."""
+        limit = self._ctx._timeout if timeout is None else timeout
+        if not self._done.wait(limit):
+            raise RuntimeError_(
+                self._ctx.rank,
+                TimeoutError(
+                    f"rank {self._ctx.rank} timed out after {limit}s waiting for "
+                    f"{self.op} to complete"
+                ),
+            )
+        if self._error is not None:
+            raise self._error
+        with self._assemble_lock:
+            if self._result is None:
+                # assembly is lazy and happens on the *waiter's* thread — a
+                # caller that consumed every chunk via chunk() never pays it
+                self._result = np.concatenate(self._chunks, axis=self._axis)
+                self._ctx._add_stats(bytes_copied=self._result.nbytes)
+        return self._result
+
+    # -- comm-thread side ------------------------------------------------------
+
+    def _deliver(self, src: int, payload: np.ndarray) -> None:
+        self._chunks[src] = payload
+        self._events[src].set()
+
+    def _finish(self) -> None:
+        self._done.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        for event in self._events:
+            event.set()  # wake chunk() waiters; undelivered slots raise
+        self._done.set()
+
+
 class WorkerContext:
     """The communication handle passed to each worker function."""
 
-    def __init__(self, rank: int, shared: _SharedState):
+    def __init__(self, rank: int, shared: _SharedState, timeout: float = DEFAULT_TIMEOUT):
         self.rank = rank
         self._shared = shared
+        self._timeout = timeout
         self.stats = CommStats()
         self._sequence = 0
+        self._collective_sequence = 0
+        # counters are mutated by the main worker thread *and* by async comm
+        # threads; a lock keeps the accounting exact
+        self._stats_lock = threading.Lock()
+        self._comm_threads: list[threading.Thread] = []
+        self._comm_errors: list[RuntimeError_] = []
         # Per-rank receive-buffer pool, two generations per (op, shape,
         # dtype): a collective's result stays valid until the *second*-next
         # call of the same collective on this rank (the pool alternates), so
         # the per-layer loops of Voltage / tensor parallelism never allocate
         # after their first iteration.
         self._buffers: dict[tuple, list[np.ndarray]] = {}
+
+    def _add_stats(self, **deltas) -> None:
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
 
     def _recv_buffer(
         self, op: str, shape: tuple[int, ...], dtype, inputs: Sequence[np.ndarray]
@@ -111,7 +268,7 @@ class WorkerContext:
                 if not any(np.shares_memory(buf, arr) for arr in inputs):
                     pool.remove(buf)
                     pool.append(buf)  # most-recently-used goes to the back
-                    self.stats.buffers_reused += 1
+                    self._add_stats(buffers_reused=1)
                     return buf
         buf = np.empty(shape, dtype=dtype)
         pool.append(buf)
@@ -122,6 +279,11 @@ class WorkerContext:
     @property
     def world_size(self) -> int:
         return self._shared.world_size
+
+    @property
+    def timeout(self) -> float:
+        """Seconds a blocked receive / handle wait allows before failing."""
+        return self._timeout
 
     def barrier(self) -> None:
         self._shared.barrier.wait()
@@ -154,14 +316,18 @@ class WorkerContext:
                 shape[axis] = sum(p.shape[axis] for p in parts)
                 out = self._recv_buffer("all_gather", tuple(shape), parts[0].dtype, parts)
                 result = np.concatenate(parts, axis=axis, out=out)
-                self.stats.bytes_copied += result.nbytes
             else:  # mixed dtypes: fall back to promoting concatenate
                 result = np.concatenate(parts, axis=axis)
             shared.barrier.wait()  # nobody may overwrite slots until all have read
             total = sum(p.nbytes for p in parts)
-            self.stats.bytes_sent += total - array.nbytes
-            self.stats.bytes_received += total - array.nbytes
-            self.stats.collective_calls += 1
+            self._add_stats(
+                bytes_sent=total - array.nbytes,
+                bytes_received=total - array.nbytes,
+                collective_calls=1,
+                # both branches materialise the full result locally; the
+                # promoting fallback used to skip this counter
+                bytes_copied=result.nbytes,
+            )
             span.set(nbytes=total - array.nbytes)
         return result
 
@@ -184,7 +350,6 @@ class WorkerContext:
                 np.copyto(out, arrays[0])
                 for arr in arrays[1:]:
                     np.add(out, arr, out=out)
-                self.stats.bytes_copied += out.nbytes
             else:  # mixed dtypes: keep the promoting accumulate semantics
                 out = np.array(arrays[0], copy=True)
                 for arr in arrays[1:]:
@@ -192,9 +357,13 @@ class WorkerContext:
             shared.barrier.wait()
             k = self.world_size
             ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
-            self.stats.bytes_sent += ring
-            self.stats.bytes_received += ring
-            self.stats.collective_calls += 1
+            self._add_stats(
+                bytes_sent=ring,
+                bytes_received=ring,
+                collective_calls=1,
+                # counted on both branches (the fallback used to skip it)
+                bytes_copied=out.nbytes,
+            )
             span.set(nbytes=ring)
         return out
 
@@ -221,16 +390,216 @@ class WorkerContext:
                 # written into a reused receive buffer
                 out = self._recv_buffer("broadcast", result.shape, result.dtype, (result,))
                 np.copyto(out, result)
-                self.stats.bytes_copied += out.nbytes
+                self._add_stats(bytes_copied=out.nbytes)
                 result = out
             shared.barrier.wait()
             if self.rank == root:
-                self.stats.bytes_sent += result.nbytes * (self.world_size - 1)
+                self._add_stats(bytes_sent=result.nbytes * (self.world_size - 1))
             else:
-                self.stats.bytes_received += result.nbytes
-            self.stats.collective_calls += 1
+                self._add_stats(bytes_received=result.nbytes)
+            self._add_stats(collective_calls=1)
             span.set(nbytes=result.nbytes)
         return result
+
+    # -- ring collectives ------------------------------------------------------
+    #
+    # Unlike the slot-based collectives above, these actually move framed
+    # chunks rank-to-rank in K-1 steps over the tagged mailbox channels, so
+    # ``bytes_sent`` / ``bytes_received`` count executed wire traffic
+    # (payload + frame header per hop) rather than an emulated volume.
+
+    def _collective_tag(self, op: str) -> tuple:
+        """A channel tag all ranks agree on by SPMD program order."""
+        self._collective_sequence += 1
+        return (op, self._collective_sequence)
+
+    def _ring_send(self, dst: int, payload: np.ndarray, tag, step: int) -> None:
+        from repro.cluster.wire import encode_frame
+
+        frame = encode_frame(
+            payload, kind=_RING_FRAME_KIND, sender=self.rank, sequence=step
+        )
+        self._shared.mailbox(self.rank, dst, tag).put(frame)
+        self._add_stats(bytes_sent=len(frame))
+
+    def _ring_recv(self, src: int, tag, context: str) -> np.ndarray:
+        from repro.cluster.wire import decode_frame
+
+        try:
+            data = self._shared.mailbox(src, self.rank, tag).get(timeout=self._timeout)
+        except queue.Empty:
+            raise RuntimeError_(
+                self.rank,
+                TimeoutError(
+                    f"rank {self.rank} timed out after {self._timeout}s in "
+                    f"{context}, waiting on rank {src} (peer never sent, or died)"
+                ),
+            ) from None
+        frame = decode_frame(data)
+        self._add_stats(bytes_received=len(data))
+        return frame.payload
+
+    def _ring_steps(self, array: np.ndarray, tag, op: str, on_chunk) -> None:
+        """Run the K-1 ring steps; call ``on_chunk(src, payload)`` as chunks land.
+
+        Step ``s``: send the chunk currently held to rank ``(self+1) mod K``,
+        receive from ``(self-1) mod K`` the chunk originating at rank
+        ``(self-1-s) mod K``.  Mailbox sends are buffered, so send-then-recv
+        cannot deadlock; a missing peer surfaces as a loud per-step timeout.
+        """
+        k = self.world_size
+        on_chunk(self.rank, array)
+        if k == 1:
+            return
+        right, left = (self.rank + 1) % k, (self.rank - 1) % k
+        current = array
+        for step in range(k - 1):
+            self._ring_send(right, current, tag, step)
+            src = (self.rank - 1 - step) % k
+            current = self._ring_recv(
+                left, tag,
+                context=f"{op} ring step {step + 1}/{k - 1} (chunk from rank {src})",
+            )
+            on_chunk(src, current)
+
+    def ring_all_gather(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
+        """Blocking true ring all-gather over the framed wire path.
+
+        Bit-identical to :meth:`all_gather` (chunks are concatenated in rank
+        order either way, uneven sizes included) but every chunk really flows
+        around the ring, so the byte counters measure executed traffic.
+        """
+        chunks: list[np.ndarray | None] = [None] * self.world_size
+        tag = self._collective_tag("ring_all_gather")
+        with self._span("ring_all_gather") as span:
+            self._ring_steps(
+                array, tag, "ring all-gather",
+                lambda src, payload: chunks.__setitem__(src, payload),
+            )
+            result = np.concatenate(chunks, axis=axis)
+            self._add_stats(collective_calls=1, bytes_copied=result.nbytes)
+            span.set(nbytes=sum(c.nbytes for c in chunks) - array.nbytes)
+        return result
+
+    def all_gather_async(self, array: np.ndarray, axis: int = 0) -> CollectiveHandle:
+        """Nonblocking ring all-gather; returns a :class:`CollectiveHandle`.
+
+        A per-rank comm thread drives the K-1 ring steps and delivers each
+        chunk to the handle as it arrives, so the calling thread can run
+        position-wise compute on already-arrived chunks while the rest of the
+        ring is still in flight.  ``handle.wait()`` is bit-identical to the
+        blocking collectives.
+        """
+        tag = self._collective_tag("all_gather_async")
+        handle = CollectiveHandle("all_gather_async", self, axis=axis)
+        self._add_stats(collective_calls=1)
+
+        def pump() -> None:
+            try:
+                with current_tracer().span(
+                    "all_gather_async", cat="runtime", kind="comm",
+                    track=f"rank {self.rank} comm", device=self.rank,
+                ) as span:
+                    total = 0
+                    def deliver(src: int, payload: np.ndarray) -> None:
+                        nonlocal total
+                        total += payload.nbytes
+                        handle._deliver(src, payload)
+                    self._ring_steps(array, tag, "async all-gather", deliver)
+                    span.set(nbytes=total - array.nbytes)
+                handle._finish()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via the handle
+                wrapped = exc if isinstance(exc, RuntimeError_) else RuntimeError_(self.rank, exc)
+                self._comm_errors.append(wrapped)
+                handle._fail(wrapped)
+
+        self._launch_comm_thread(pump, tag)
+        return handle
+
+    def all_reduce_async(self, array: np.ndarray) -> CollectiveHandle:
+        """Nonblocking ring all-reduce (reduce-scatter + ring all-gather).
+
+        Rank ``j`` owns row slice ``j`` (``array_split`` boundaries): every
+        peer sends it that slice directly, the owner sums the K partials **in
+        rank order** (the same deterministic elementwise summation as the
+        blocking :meth:`all_reduce`, restricted to its rows), then the
+        reduced slices circle the ring.  Executed volume per rank and
+        direction is ``2(K-1)/K`` of the tensor — the Section V-C ring
+        figure — and ``handle.wait()`` is bit-identical to ``all_reduce``.
+        ``handle.chunk(src)`` / ``handle.range_of(src)`` expose reduced row
+        slices as they arrive, for streaming position-wise epilogues.
+        """
+        if array.ndim < 1:
+            raise ValueError("all_reduce_async needs at least a 1-D array")
+        k = self.world_size
+        n = array.shape[0]
+        base, extra = divmod(n, k)
+        ranges, start = [], 0
+        for j in range(k):
+            width = base + (1 if j < extra else 0)
+            ranges.append((start, start + width))
+            start += width
+        handle = CollectiveHandle("all_reduce_async", self, axis=0, ranges=ranges)
+        tag = self._collective_tag("all_reduce_async")
+        scatter_tag, gather_tag = (tag, "rs"), (tag, "ag")
+        self._add_stats(collective_calls=1)
+
+        def pump() -> None:
+            try:
+                with current_tracer().span(
+                    "all_reduce_async", cat="runtime", kind="comm",
+                    track=f"rank {self.rank} comm", device=self.rank,
+                ) as span:
+                    # phase 1 — reduce-scatter: hand slice j straight to its owner
+                    for j in range(k):
+                        if j != self.rank:
+                            lo, hi = ranges[j]
+                            self._ring_send(j, array[lo:hi], scatter_tag, 0)
+                    lo, hi = ranges[self.rank]
+                    parts = [
+                        array[lo:hi] if src == self.rank else self._ring_recv(
+                            src, scatter_tag,
+                            context=f"async all-reduce scatter (slice from rank {src})",
+                        )
+                        for src in range(k)
+                    ]
+                    if len({p.dtype for p in parts}) == 1:
+                        acc = np.array(parts[0], copy=True)
+                        for part in parts[1:]:
+                            np.add(acc, part, out=acc)
+                    else:  # mixed dtypes: promoting accumulate, same rank order
+                        acc = np.array(parts[0], copy=True)
+                        for part in parts[1:]:
+                            acc = acc + part
+                    self._add_stats(bytes_copied=acc.nbytes)
+                    # phase 2 — ring all-gather of the reduced slices
+                    self._ring_steps(acc, gather_tag, "async all-reduce gather", handle._deliver)
+                    ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
+                    span.set(nbytes=ring)
+                handle._finish()
+            except BaseException as exc:  # noqa: BLE001 - surfaced via the handle
+                wrapped = exc if isinstance(exc, RuntimeError_) else RuntimeError_(self.rank, exc)
+                self._comm_errors.append(wrapped)
+                handle._fail(wrapped)
+
+        self._launch_comm_thread(pump, tag)
+        return handle
+
+    def _launch_comm_thread(self, pump: Callable[[], None], tag) -> None:
+        if self.world_size == 1:
+            pump()  # no peers: the collective completes inline
+            return
+        thread = threading.Thread(
+            target=pump, name=f"comm-{self.rank}-{tag[0]}-{tag[1]}", daemon=True
+        )
+        self._comm_threads.append(thread)
+        thread.start()
+
+    def _join_comm_threads(self) -> None:
+        """Join every spawned comm thread (each blocks at most ``timeout``
+        per ring step, so this terminates even after peer failures)."""
+        for thread in self._comm_threads:
+            thread.join()
 
     # -- point to point --------------------------------------------------------
     #
@@ -250,15 +619,16 @@ class WorkerContext:
                 payload, kind=kind, sender=self.rank, sequence=self._sequence
             )
             self._shared.mailbox(self.rank, dst).put(frame)
-            self.stats.bytes_sent += len(frame)
-            self.stats.p2p_messages += 1
+            self._add_stats(bytes_sent=len(frame), p2p_messages=1)
             span.set(nbytes=len(frame), dst=dst)
 
-    def recv(self, src: int, timeout: float = 30.0) -> np.ndarray:
+    def recv(self, src: int, timeout: float | None = None) -> np.ndarray:
         from repro.cluster.wire import decode_frame
 
         if not (0 <= src < self.world_size) or src == self.rank:
             raise ValueError(f"invalid source rank {src} (self={self.rank})")
+        if timeout is None:
+            timeout = self._timeout
         with self._span("recv") as span:
             try:
                 data = self._shared.mailbox(src, self.rank).get(timeout=timeout)
@@ -274,19 +644,27 @@ class WorkerContext:
                     ),
                 ) from None
             frame = decode_frame(data)
-            self.stats.bytes_received += len(data)
-            self.stats.p2p_messages += 1
+            self._add_stats(bytes_received=len(data), p2p_messages=1)
             span.set(nbytes=len(data), src=src)
         return frame.payload
 
 
 class ThreadedRuntime:
-    """Run one worker function per rank on real threads and collect results."""
+    """Run one worker function per rank on real threads and collect results.
 
-    def __init__(self, world_size: int):
+    ``timeout`` bounds every blocking receive — the p2p ``recv`` default,
+    each ring step of the (a)sync collectives, and ``CollectiveHandle``
+    waits — so a hung peer fails loudly with rank/step context instead of
+    stalling the whole run.
+    """
+
+    def __init__(self, world_size: int, timeout: float = DEFAULT_TIMEOUT):
         if world_size < 1:
             raise ValueError(f"world size must be >= 1, got {world_size}")
+        if timeout <= 0:
+            raise ValueError(f"timeout must be > 0 seconds, got {timeout}")
         self.world_size = world_size
+        self.timeout = timeout
 
     def run(
         self, worker_fn: Callable[[WorkerContext], object]
@@ -295,7 +673,10 @@ class ThreadedRuntime:
 
         If any worker raises, the first failure is re-raised as
         :class:`RuntimeError_` after all threads have been joined (barriers
-        are aborted so surviving workers do not deadlock).
+        are aborted so surviving workers do not deadlock).  Comm threads of
+        async collectives — including un-waited handles — are joined before
+        returning; a comm-thread failure the worker never observed is
+        re-raised here so ring errors cannot vanish silently.
         """
         shared = _SharedState(world_size=self.world_size)
         results: list[object] = [None] * self.world_size
@@ -304,13 +685,16 @@ class ThreadedRuntime:
         error_lock = threading.Lock()
 
         def runner(rank: int) -> None:
-            ctx = WorkerContext(rank, shared)
+            ctx = WorkerContext(rank, shared, timeout=self.timeout)
             try:
                 with current_tracer().span(
                     "worker", cat="runtime", kind="request",
                     track=f"rank {rank}", device=rank,
                 ):
                     results[rank] = worker_fn(ctx)
+                ctx._join_comm_threads()
+                if ctx._comm_errors:
+                    raise ctx._comm_errors[0]
                 stats[rank] = ctx.stats
             except BaseException as exc:  # noqa: BLE001 - propagate to caller
                 wrapped = exc if isinstance(exc, RuntimeError_) else RuntimeError_(rank, exc)

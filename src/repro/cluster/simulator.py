@@ -42,9 +42,17 @@ class ClusterSim:
     def k(self) -> int:
         return self.cluster.num_devices
 
-    def _record(self, name: str, kind: str, seconds: float, nbytes: float | None = None) -> float:
+    def _record(
+        self,
+        name: str,
+        kind: str,
+        seconds: float,
+        nbytes: float | None = None,
+        **annotations,
+    ) -> float:
         current_tracer().record_modeled(
-            name, cat="sim", kind=kind, seconds=seconds, track="simulator", nbytes=nbytes
+            name, cat="sim", kind=kind, seconds=seconds, track="simulator", nbytes=nbytes,
+            **annotations,
         )
         return seconds
 
@@ -71,6 +79,30 @@ class ClusterSim:
     def all_gather(self, chunk_bytes: Sequence[float]) -> float:
         seconds = collectives.all_gather_seconds(self.cluster.network, chunk_bytes)
         return self._record("all_gather", "comm", seconds, nbytes=sum(chunk_bytes))
+
+    def all_gather_overlapped(
+        self, chunk_bytes: Sequence[float], hideable_seconds: float
+    ) -> tuple[float, float]:
+        """All-gather with ``hideable_seconds`` of concurrent compute available.
+
+        Returns ``(exposed, full)``: the full ring time and the part of it
+        left on the critical path after overlapping —
+        ``exposed = max(0, full - hideable)``.  ``hideable_seconds`` is the
+        *minimum over devices* of the compute each can run while its ring is
+        in flight (next-layer own-partition Q projection), which makes the
+        exposed figure a conservative bound on the true overlapped makespan:
+        ``max_d(max(comm - hide_d, 0)) <= max(comm - min_d hide_d, 0)`` when
+        comm dominates, and the barrier structure absorbs the rest.
+        """
+        if hideable_seconds < 0:
+            raise ValueError(f"hideable compute must be >= 0, got {hideable_seconds}")
+        full = collectives.all_gather_seconds(self.cluster.network, chunk_bytes)
+        exposed = max(0.0, full - hideable_seconds)
+        self._record(
+            "all_gather_overlapped", "comm", exposed,
+            nbytes=sum(chunk_bytes), hidden_s=full - exposed,
+        )
+        return exposed, full
 
     def all_reduce(self, total_bytes: float) -> float:
         seconds = collectives.all_reduce_seconds(self.cluster.network, total_bytes, self.k)

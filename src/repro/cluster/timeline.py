@@ -19,18 +19,27 @@ _KINDS = ("compute", "comm", "overhead")
 
 @dataclass(frozen=True)
 class Phase:
-    """One timed segment of the critical path."""
+    """One timed segment of the critical path.
+
+    ``seconds`` is the *exposed* (critical-path) duration.  For comm phases
+    that ran concurrently with compute, ``hidden_s`` records how much of the
+    raw communication time was hidden behind that compute — so the full wire
+    time of an overlapped All-Gather is ``seconds + hidden_s``.
+    """
 
     name: str
     kind: str  # "compute" | "comm" | "overhead"
     seconds: float
     layer: int | None = None
+    hidden_s: float = 0.0
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
             raise ValueError(f"kind must be one of {_KINDS}, got {self.kind!r}")
         if self.seconds < 0:
             raise ValueError(f"phase duration must be >= 0, got {self.seconds}")
+        if self.hidden_s < 0:
+            raise ValueError(f"hidden duration must be >= 0, got {self.hidden_s}")
 
 
 @dataclass
@@ -39,12 +48,23 @@ class LatencyBreakdown:
 
     phases: list[Phase] = field(default_factory=list)
 
-    def add(self, name: str, kind: str, seconds: float, layer: int | None = None) -> None:
-        self.phases.append(Phase(name=name, kind=kind, seconds=seconds, layer=layer))
+    def add(
+        self,
+        name: str,
+        kind: str,
+        seconds: float,
+        layer: int | None = None,
+        hidden_s: float = 0.0,
+    ) -> None:
+        self.phases.append(
+            Phase(name=name, kind=kind, seconds=seconds, layer=layer, hidden_s=hidden_s)
+        )
         # mirror every phase into the active trace as a modeled span on the
         # critical-path track (no-op unless a tracer is installed)
+        extra = {"hidden_s": hidden_s} if hidden_s else {}
         current_tracer().record_modeled(
-            name, cat="phase", kind=kind, seconds=seconds, track="request", layer=layer
+            name, cat="phase", kind=kind, seconds=seconds, track="request", layer=layer,
+            **extra,
         )
 
     def seconds_of_kind(self, kind: str) -> float:
@@ -63,6 +83,11 @@ class LatencyBreakdown:
     @property
     def comm_seconds(self) -> float:
         return self.seconds_of_kind("comm")
+
+    @property
+    def hidden_comm_seconds(self) -> float:
+        """Communication time hidden behind compute (not on the critical path)."""
+        return sum(p.hidden_s for p in self.phases)
 
     @property
     def comm_fraction(self) -> float:

@@ -47,6 +47,7 @@ __all__ = [
     "matrix_chain_min_cost",
     "ffn_flops",
     "layer_flops",
+    "prologue_flops",
     "model_flops",
     "voltage_comm_elements",
     "tensor_parallel_comm_elements",
@@ -334,6 +335,21 @@ def layer_flops(
     per_head = attention_order_cost(order, n, p, f, fh).matmul
     out_proj = p * (num_heads * fh) * f
     return num_heads * per_head + out_proj + ffn_flops(p, f, ffn_dim)
+
+
+def prologue_flops(p: int, f: int, num_heads: int, fh: int) -> int:
+    """Matmul FLOPs of the own-partition Q projection ``x_p · W_Q`` (all heads).
+
+    This is the slice of next-layer work a device can run on rows it already
+    holds *while* the All-Gather ring is still circulating — the "hideable
+    compute" of the overlapped cost model.  It is the P·F·F_H-per-head term
+    of Γ(Eq. 3)/Γ(Eq. 8) summed over heads: ``P·F·H·F_H`` MACs.  Zero for an
+    empty partition (K > N leaves some devices without rows).
+    """
+    if p == 0:
+        return 0
+    _check_dims(max(p, 1), p, f, fh)
+    return p * f * num_heads * fh
 
 
 def model_flops(

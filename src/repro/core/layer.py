@@ -81,12 +81,24 @@ class PartitionedLayerExecutor:
         x: np.ndarray,
         partition: Partition,
         order: AttentionOrder | None = None,
+        *,
+        normed: np.ndarray | None = None,
+        qp: np.ndarray | None = None,
     ) -> np.ndarray:
         """Compute layer-output rows ``partition`` from the full input ``x``.
 
         Equivalent to ``layer.forward(x)[partition.start:partition.stop]`` up
         to float rounding — the property tests assert this for every order
         and both norm styles.
+
+        ``normed`` and ``qp`` let an overlapped executor hand in work it
+        already did while an All-Gather was in flight.  Both carry a strict
+        bitwise contract: ``normed`` must equal ``layer.ln1(x)`` bit-for-bit
+        (layer norm is row-wise, so per-chunk application satisfies this),
+        and ``qp`` must be the attention input's own-partition query
+        projection — the exact array ``F.linear(input[start:stop], W_Q,
+        b_Q)`` — so the blocking and overlapped paths stay bit-identical.
+        ``normed`` is ignored for post-LN layers (attention reads raw x).
         """
         n = x.shape[0]
         if partition.stop > n:
@@ -103,7 +115,7 @@ class PartitionedLayerExecutor:
 
         if self.config.norm_style == "post":
             attended = attention_partition(
-                x, partition.start, partition.stop, params, order, causal=causal
+                x, partition.start, partition.stop, params, order, causal=causal, qp=qp
             )
             projected = layer.attention.output(attended)
             y = layer.ln1(projected + xp)
@@ -111,9 +123,10 @@ class PartitionedLayerExecutor:
 
         # pre-LN (GPT-2 / ViT): attention reads LN(x), so normalise the full
         # sequence first (position-wise, O(N·F) — not a parallelism bottleneck)
-        normed = layer.ln1(x)
+        if normed is None:
+            normed = layer.ln1(x)
         attended = attention_partition(
-            normed, partition.start, partition.stop, params, order, causal=causal
+            normed, partition.start, partition.stop, params, order, causal=causal, qp=qp
         )
         y = xp + layer.attention.output(attended)
         return y + layer.ffn(layer.ln2(y))

@@ -133,20 +133,27 @@ def _softmax_scores(scores: np.ndarray, head_dim: int, mask: np.ndarray | None) 
 # ---------------------------------------------------------------------------
 
 
-def _scores_q_k(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.ndarray:
+def _scores_q_k(
+    xp: np.ndarray, x: np.ndarray, params: AttentionParams, qp: np.ndarray | None = None
+) -> np.ndarray:
     """Eq. (11): compute Q_p and K in advance — the naive Eq. (3) path."""
-    qp = F.linear(xp, params.wq, params.bq)
+    if qp is None:
+        qp = F.linear(xp, params.wq, params.bq)
     k = F.linear(x, params.wk, params.bk)
     return split_heads(qp, params.num_heads) @ split_heads(k, params.num_heads).transpose(0, 2, 1)
 
 
-def _scores_qp_kt(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.ndarray:
+def _scores_qp_kt(
+    xp: np.ndarray, x: np.ndarray, params: AttentionParams, qp: np.ndarray | None = None
+) -> np.ndarray:
     """Eq. (10): ``((x_p W_Q) W_K^T) x^T`` — the reordered Eq. (8) path.
 
     Never materialises K.  The key bias contributes the rank-one column term
     ``(Q_p b_K)`` per head.
     """
-    qp = split_heads(F.linear(xp, params.wq, params.bq), params.num_heads)  # (H, P, F_H)
+    if qp is None:
+        qp = F.linear(xp, params.wq, params.bq)
+    qp = split_heads(qp, params.num_heads)  # (H, P, F_H)
     wk_heads = params.weights_by_head("k")  # (H, F, F_H)
     projected = qp @ wk_heads.transpose(0, 2, 1)  # (H, P, F)
     h, p, f = projected.shape
@@ -159,8 +166,13 @@ def _scores_qp_kt(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.
     return scores
 
 
-def _scores_fused_left(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.ndarray:
-    """Eq. (12): ``(x_p (W_Q W_K^T)) x^T`` with the F×F product precomputed."""
+def _scores_fused_left(
+    xp: np.ndarray, x: np.ndarray, params: AttentionParams, qp: np.ndarray | None = None
+) -> np.ndarray:
+    """Eq. (12): ``(x_p (W_Q W_K^T)) x^T`` with the F×F product precomputed.
+
+    Fused orders never materialise Q_p, so a precomputed ``qp`` is ignored.
+    """
     wq_heads = params.weights_by_head("q")
     wk_heads = params.weights_by_head("k")
     fused = wq_heads @ wk_heads.transpose(0, 2, 1)  # (H, F, F) — the oversized operand
@@ -168,7 +180,9 @@ def _scores_fused_left(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -
     return scores + _bias_correction(xp, x, params)
 
 
-def _scores_fused_right(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.ndarray:
+def _scores_fused_right(
+    xp: np.ndarray, x: np.ndarray, params: AttentionParams, qp: np.ndarray | None = None
+) -> np.ndarray:
     """Eq. (13): ``x_p ((W_Q W_K^T) x^T)``."""
     wq_heads = params.weights_by_head("q")
     wk_heads = params.weights_by_head("k")
@@ -177,7 +191,9 @@ def _scores_fused_right(xp: np.ndarray, x: np.ndarray, params: AttentionParams) 
     return scores + _bias_correction(xp, x, params)
 
 
-def _scores_right_to_left(xp: np.ndarray, x: np.ndarray, params: AttentionParams) -> np.ndarray:
+def _scores_right_to_left(
+    xp: np.ndarray, x: np.ndarray, params: AttentionParams, qp: np.ndarray | None = None
+) -> np.ndarray:
     """Eq. (14): ``x_p (W_Q (W_K^T x^T))``."""
     wq_heads = params.weights_by_head("q")
     wk_heads = params.weights_by_head("k")
@@ -266,6 +282,7 @@ def attention_partition(
     order: AttentionOrder,
     causal: bool = False,
     mask: np.ndarray | None = None,
+    qp: np.ndarray | None = None,
 ) -> np.ndarray:
     """Compute attention output rows ``[start, stop)`` under a given order.
 
@@ -284,6 +301,13 @@ def attention_partition(
         decoder layers).  Mutually exclusive with ``mask``.
     mask:
         Explicit boolean ``(P, N)`` mask, True = blocked.
+    qp:
+        Optional precomputed own-partition query projection
+        ``F.linear(x[start:stop], W_Q, b_Q)``, shape ``(P, H·F_H)``.
+        Contract: it must be that exact value bitwise (same operands, same
+        GEMM shape), which is what lets the overlapped executors project Q
+        while an All-Gather is in flight and stay bit-identical.  Orders
+        that never materialise Q_p (the fused ones) ignore it.
 
     Returns
     -------
@@ -295,9 +319,14 @@ def attention_partition(
     if causal and mask is not None:
         raise ValueError("pass either causal=True or an explicit mask, not both")
     xp = x[start:stop]
+    if qp is not None and qp.shape != (stop - start, params.wq.shape[1]):
+        raise ValueError(
+            f"precomputed qp has shape {qp.shape}, expected "
+            f"{(stop - start, params.wq.shape[1])}"
+        )
     if causal:
         mask = F.causal_mask(stop - start, n, offset=start)
-    raw_scores = _SCORE_IMPLS[order.score](xp, x, params)
+    raw_scores = _SCORE_IMPLS[order.score](xp, x, params, qp=qp)
     s = _softmax_scores(raw_scores, params.head_dim, mask)
     return _VALUE_IMPLS[order.value](s, x, params)
 

@@ -207,8 +207,20 @@ class TensorParallelSystem(InferenceSystem):
 
     # -- real threaded execution -------------------------------------------------
 
-    def execute_threaded(self, raw) -> tuple[np.ndarray, list[CommStats]]:
-        """Run the shard/All-Reduce protocol on real concurrent workers."""
+    def execute_threaded(
+        self, raw, overlap: bool = False
+    ) -> tuple[np.ndarray, list[CommStats]]:
+        """Run the shard/All-Reduce protocol on real concurrent workers.
+
+        With ``overlap``, the two per-layer All-Reduces go through the
+        nonblocking ring (:meth:`~repro.cluster.runtime.WorkerContext.
+        all_reduce_async`) and the residual-add/layer-norm epilogue is
+        applied to each reduced row slice as it comes off the ring, while
+        the remaining slices are still in flight.  Those epilogues are
+        row-wise, and the async reduce accumulates partials in the same
+        rank order as the blocking one, so the result is bit-identical to
+        :meth:`run` either way.
+        """
         x0 = self.model.preprocess(raw)
         causal = self.model.config.is_causal
         act = self.model.layers[0].ffn._act
@@ -216,7 +228,45 @@ class TensorParallelSystem(InferenceSystem):
         layers = list(self.model.layers)
         all_shards = self.shards
 
+        def streamed(ctx, handle, epilogue, out):
+            """Fill ``out`` slice-by-slice as reduced chunks arrive."""
+            for src in handle.arrival_order():
+                chunk = handle.chunk(src)
+                lo, hi = handle.range_of(src)
+                if hi > lo:
+                    out[lo:hi] = epilogue(chunk, lo, hi)
+            return out
+
+        def worker_overlapped(ctx) -> np.ndarray:
+            x = x0
+            for layer, shards in zip(layers, all_shards):
+                shard = shards[ctx.rank]
+                attn_input = x if norm_style == "post" else layer.ln1(x)
+                handle = ctx.all_reduce_async(
+                    _attention_partial(shard, attn_input, causal)
+                )
+                y = np.empty_like(x)
+                if norm_style == "post":
+                    streamed(ctx, handle, lambda c, lo, hi: layer.ln1(c + x[lo:hi]), y)
+                    ffn_input = y
+                else:
+                    ffn_input = np.empty_like(x)
+                    def attn_epilogue(c, lo, hi):
+                        y[lo:hi] = x[lo:hi] + c
+                        return layer.ln2(y[lo:hi])
+                    streamed(ctx, handle, attn_epilogue, ffn_input)
+                handle = ctx.all_reduce_async(_ffn_partial(shard, ffn_input, act))
+                x_next = np.empty_like(x)
+                if norm_style == "post":
+                    streamed(ctx, handle, lambda c, lo, hi: layer.ln2(y[lo:hi] + c), x_next)
+                else:
+                    streamed(ctx, handle, lambda c, lo, hi: y[lo:hi] + c, x_next)
+                x = x_next
+            return x
+
         def worker(ctx) -> np.ndarray:
+            if overlap and ctx.world_size > 1:
+                return worker_overlapped(ctx)
             x = x0
             for layer, shards in zip(layers, all_shards):
                 shard = shards[ctx.rank]

@@ -25,6 +25,7 @@ from repro import obs
 from repro.cluster.collectives import all_gather_arrays
 from repro.cluster.runtime import CommStats, ThreadedRuntime
 from repro.cluster.timeline import LatencyBreakdown
+from repro.core.complexity import prologue_flops
 from repro.core.layer import OrderPolicy, PartitionedLayerExecutor
 from repro.core.partition import PartitionScheme
 from repro.core.planner import makespan_optimal_scheme
@@ -52,6 +53,7 @@ class VoltageSystem(InferenceSystem):
         scheme: PartitionScheme | str | None = None,
         policy: OrderPolicy | None = None,
         wire_dtype: str = "float32",
+        overlap: bool = False,
     ):
         """Deploy ``model`` on ``cluster``.
 
@@ -67,6 +69,13 @@ class VoltageSystem(InferenceSystem):
         and the (small) numerical error propagates into the outputs — so
         the accuracy cost of the bandwidth saving is measurable, not
         assumed.
+
+        ``overlap`` hides each inner All-Gather behind next-layer compute a
+        device can run on rows it already holds (the own-partition Q
+        projection).  :meth:`run` models it as per-layer
+        ``exposed = max(0, comm - hideable)`` and :meth:`execute_threaded`
+        really streams chunks off the ring — bit-identical outputs either
+        way.
         """
         super().__init__(model, cluster)
         if isinstance(scheme, (PartitionScheme, LayerSchedule)) and (
@@ -81,6 +90,7 @@ class VoltageSystem(InferenceSystem):
             )
         self._scheme = scheme
         self.policy = policy if policy is not None else OrderPolicy()
+        self.overlap = overlap
         self.wire_dtype = wire_dtype
         self.wire_itemsize = WIRE_DTYPES[wire_dtype]
         self.executors = [
@@ -118,6 +128,23 @@ class VoltageSystem(InferenceSystem):
 
     # -- host-emulated execution with simulated latency ------------------------
 
+    def _hideable_seconds(self, n: int, f: int, next_executor, next_parts) -> float:
+        """Seconds of next-layer compute every device can run mid-ring.
+
+        The own-partition Q projection depends only on rows a device already
+        holds, so it can run while the All-Gather circulates.  Taking the
+        *minimum* over devices keeps the modeled exposure a conservative
+        upper bound on the true overlapped critical path (a device with an
+        empty next partition can hide nothing, pinning the bound at zero).
+        """
+        attention = next_executor.layer.attention
+        return min(
+            device.compute_seconds(
+                prologue_flops(part.length, f, attention.num_heads, attention.head_dim)
+            )
+            for device, part in zip(self.cluster.devices, next_parts)
+        )
+
     def run(self, raw) -> InferenceResult:
         latency = LatencyBreakdown()
         x = self._terminal_preprocess(raw, latency)
@@ -130,6 +157,8 @@ class VoltageSystem(InferenceSystem):
 
         comm_bytes_per_device = 0.0
         orders_used: list[str] = []
+        exposed_comm_per_layer: list[float] = []
+        hidden_comm_s = 0.0
         for index, executor in enumerate(self.executors):
             parts = layer_schemes[index].positions(n)
             outputs = [
@@ -149,8 +178,24 @@ class VoltageSystem(InferenceSystem):
             ]
             if index + 1 < len(self.executors):
                 # Algorithm 2 line 10: synchronise partitions across devices
-                comm = self.sim.all_gather(chunk_bytes)
-                latency.add("all-gather", "comm", comm, layer=index)
+                if self.overlap:
+                    hideable = self._hideable_seconds(
+                        n, f, self.executors[index + 1],
+                        layer_schemes[index + 1].positions(n),
+                    )
+                    exposed, full = self.sim.all_gather_overlapped(chunk_bytes, hideable)
+                    latency.add(
+                        "all-gather (overlapped)", "comm", exposed,
+                        layer=index, hidden_s=full - exposed,
+                    )
+                    exposed_comm_per_layer.append(exposed)
+                    hidden_comm_s += full - exposed
+                else:
+                    comm = self.sim.all_gather(chunk_bytes)
+                    latency.add("all-gather", "comm", comm, layer=index)
+                    exposed_comm_per_layer.append(comm)
+                # the wire volume is unchanged by overlapping — only *when*
+                # the bytes move relative to compute changes
                 comm_bytes_per_device += sum(chunk_bytes) - max(chunk_bytes)
             else:
                 # Algorithm 2 line 8: final partitions go to the terminal only
@@ -180,12 +225,17 @@ class VoltageSystem(InferenceSystem):
                 "orders": orders_used,
                 "wire_dtype": self.wire_dtype,
                 "allgather_bytes_per_device": comm_bytes_per_device,
+                "overlap": self.overlap,
+                "exposed_comm_per_layer": exposed_comm_per_layer,
+                "hidden_comm_s": hidden_comm_s,
             },
         )
 
     # -- real threaded execution ------------------------------------------------
 
-    def execute_threaded(self, raw) -> tuple[np.ndarray, list[CommStats]]:
+    def execute_threaded(
+        self, raw, overlap: bool | None = None
+    ) -> tuple[np.ndarray, list[CommStats]]:
         """Run Algorithm 2 on real concurrent workers.
 
         Every worker holds the full model replica (Voltage's deployment
@@ -194,9 +244,22 @@ class VoltageSystem(InferenceSystem):
         post-processed output and per-worker communication statistics — the
         integration tests check the output matches :meth:`run` *bit-for-bit
         for every wire_dtype* and the byte counters match Section V-C.
+
+        With ``overlap`` (default: the system's ``overlap`` setting), the
+        inner All-Gathers go through the nonblocking ring: each worker
+        launches :meth:`~repro.cluster.runtime.WorkerContext.all_gather_async`
+        after encoding its partition, then consumes chunks as they come off
+        the ring — copying rows into the next layer's input, applying the
+        next layer's (row-wise) ln1, and firing the own-partition Q
+        projection as soon as its rows are complete — while the remaining
+        ring steps are still in flight.  Only bitwise row-safe work is
+        streamed (see INTERNALS §11), so the output matches the blocking
+        path bit-for-bit for every wire_dtype.
         """
+        if overlap is None:
+            overlap = self.overlap
         x0 = self.model.preprocess(raw)
-        n = x0.shape[0]
+        n, feat = x0.shape
         executors = self.executors
         layer_parts = [
             self.scheme_for(n, layer=index).positions(n)
@@ -204,19 +267,68 @@ class VoltageSystem(InferenceSystem):
         ]
         tracer = obs.current_tracer()
 
+        def stream_next_layer(ctx, handle, parts, index):
+            """Consume ring chunks as they arrive; pre-run next-layer work.
+
+            Returns ``(x, normed, qp)`` for the next layer: the assembled
+            gather, the per-chunk ln1 of it (pre-LN layers only) and the
+            own-partition Q projection — all bitwise identical to what the
+            blocking path would compute from the assembled array, because
+            every streamed op is row-wise (or an identically-shaped GEMM on
+            identical operand values).
+            """
+            from repro.tensor import functional as F
+
+            spans = [(p.start, p.stop) for p in parts]
+            next_exec = executors[index + 1]
+            own = layer_parts[index + 1][ctx.rank]
+            pre_ln = next_exec.config.norm_style != "post"
+            x_buf = np.empty((n, feat), dtype=x0.dtype)
+            normed_buf = np.empty_like(x_buf) if pre_ln else None
+            arrived = [False] * ctx.world_size
+            qp = None
+            params = next_exec.layer.attention.attention_params()
+            with tracer.span(
+                "overlap stream", cat="runtime", kind="compute",
+                track=f"rank {ctx.rank}", device=ctx.rank, layer=index,
+            ):
+                for src in handle.arrival_order():
+                    chunk = handle.chunk(src)
+                    lo, hi = spans[src]
+                    if hi > lo:
+                        x_buf[lo:hi] = chunk
+                        if pre_ln:
+                            normed_buf[lo:hi] = next_exec.layer.ln1(x_buf[lo:hi])
+                    arrived[src] = True
+                    if qp is None and own.length and _covered(arrived, spans, own):
+                        base = normed_buf if pre_ln else x_buf
+                        qp = F.linear(base[own.start : own.stop], params.wq, params.bq)
+            # every chunk was consumed, so the ring is complete — no need to
+            # wait() (which would also concatenate a result we already built)
+            ctx._add_stats(bytes_copied=x_buf.nbytes)
+            return x_buf, normed_buf, qp
+
         def worker(ctx) -> np.ndarray:
             x = x0  # broadcast of the input features (replicated host memory)
+            normed = qp = None
             for index, (executor, parts) in enumerate(zip(executors, layer_parts)):
                 with tracer.span(
                     "partition compute", cat="runtime", kind="compute",
                     track=f"rank {ctx.rank}", device=ctx.rank, layer=index,
                 ):
-                    out = executor.forward_partition(x, parts[ctx.rank])
+                    out = executor.forward_partition(
+                        x, parts[ctx.rank], normed=normed, qp=qp
+                    )
                     # what crosses the network must be the *encoded* partition,
                     # exactly as run() emulates it — skipping this made
                     # float16/int8 threaded outputs diverge from run()'s
                     out = self._encode_for_wire(out)
-                x = ctx.all_gather(out, axis=0)
+                normed = qp = None
+                if not overlap or index + 1 >= len(executors) or ctx.world_size == 1:
+                    x = ctx.all_gather(out, axis=0)
+                    continue
+                handle = ctx.all_gather_async(out, axis=0)
+                x, normed, qp = stream_next_layer(ctx, handle, parts, index)
             return x
 
         runtime = ThreadedRuntime(self.k)
@@ -226,3 +338,11 @@ class VoltageSystem(InferenceSystem):
             np.testing.assert_array_equal(hidden, other)
         output = self.model.postprocess(self.model.final_norm(hidden))
         return output, stats
+
+
+def _covered(arrived: list[bool], spans: list[tuple[int, int]], part) -> bool:
+    """True once every chunk overlapping ``part``'s rows has arrived."""
+    for flag, (lo, hi) in zip(arrived, spans):
+        if not flag and lo < part.stop and hi > part.start:
+            return False
+    return True

@@ -98,11 +98,12 @@ def default_voltage_factory(model, cluster, config: ScenarioConfig) -> VoltageSy
         scheme=build_scheme(config),
         policy=OrderPolicy(config.order_mode),
         wire_dtype=config.wire_dtype,
+        overlap=config.overlap,
     )
 
 
-def _phase_rows(latency: LatencyBreakdown) -> list[tuple[str, str, float]]:
-    return [(p.name, p.kind, p.seconds) for p in latency.phases]
+def _phase_rows(latency: LatencyBreakdown) -> list[tuple[str, str, float, float]]:
+    return [(p.name, p.kind, p.seconds, p.hidden_s) for p in latency.phases]
 
 
 def _timelines_agree(
@@ -111,11 +112,13 @@ def _timelines_agree(
     ours, theirs = _phase_rows(analytic_latency), _phase_rows(simulated)
     if len(ours) != len(theirs):
         return False, f"phase count {len(ours)} != {len(theirs)}"
-    for (a_name, a_kind, a_s), (s_name, s_kind, s_s) in zip(ours, theirs):
+    for (a_name, a_kind, a_s, a_h), (s_name, s_kind, s_s, s_h) in zip(ours, theirs):
         if (a_name, a_kind) != (s_name, s_kind):
             return False, f"phase mismatch: analytic {a_name}/{a_kind} vs system {s_name}/{s_kind}"
         if not math.isclose(a_s, s_s, rel_tol=ANALYTIC_REL_TOL, abs_tol=1e-15):
             return False, f"phase {s_name!r}: analytic {a_s!r} vs simulated {s_s!r}"
+        if not math.isclose(a_h, s_h, rel_tol=ANALYTIC_REL_TOL, abs_tol=1e-15):
+            return False, f"phase {s_name!r}: analytic hidden {a_h!r} vs simulated {s_h!r}"
     return True, ""
 
 
@@ -188,6 +191,24 @@ def run_scenario(
                 detail=f"max|diff|={max_abs_diff(threaded, vrun.output):.3e} (must be bit-identical)",
             )
         )
+        # keyed on the *system's* overlap setting (not the config's) so
+        # factory-substituted subclasses without the overlap machinery are
+        # exercised through the checks they actually implement
+        voltage_overlap = bool(getattr(voltage, "overlap", False))
+        if voltage_overlap:
+            # the overlapped ring-streamed execution must not perturb a single
+            # bit relative to the blocking slot collectives
+            blocking, _ = voltage.execute_threaded(raw, overlap=False)
+            checks.append(
+                Check(
+                    "voltage_overlap_vs_blocking_threaded",
+                    passed=bool(np.array_equal(threaded, blocking)),
+                    detail=(
+                        f"max|diff|={max_abs_diff(threaded, blocking):.3e} "
+                        "(overlap=True vs overlap=False, must be bit-identical)"
+                    ),
+                )
+            )
 
         # 3. analytic latency model vs the simulated timeline
         static_scheme = _static_scheme(voltage, config, n)
@@ -210,9 +231,44 @@ def run_scenario(
                 pre_flops=model.preprocess_flops(n),
                 post_flops=model.postprocess_flops(n),
                 wire_itemsize=voltage.wire_itemsize,
+                overlap=voltage_overlap,
             )
             agree, detail = _timelines_agree(modelled, vrun.latency)
             checks.append(Check("voltage_analytic_vs_sim", passed=agree, detail=detail))
+            if voltage_overlap:
+                # overlapping may only remove gather time from the critical
+                # path: exposed <= blocking comm per layer, and the hidden
+                # remainder must reconstruct the blocking figure exactly
+                unoverlapped = analytic.voltage_latency(
+                    model.config, n, cluster,
+                    scheme=static_scheme, policy=voltage.policy,
+                    pre_flops=model.preprocess_flops(n),
+                    post_flops=model.postprocess_flops(n),
+                    wire_itemsize=voltage.wire_itemsize,
+                    overlap=False,
+                )
+                blocking_comm = [
+                    p.seconds for p in unoverlapped.phases if p.name == "all-gather"
+                ]
+                overlapped_comm = [
+                    (p.seconds, p.hidden_s)
+                    for p in modelled.phases if p.name == "all-gather (overlapped)"
+                ]
+                ok = len(blocking_comm) == len(overlapped_comm) and all(
+                    exposed <= full + 1e-15
+                    and math.isclose(exposed + hidden, full, rel_tol=1e-12, abs_tol=1e-15)
+                    for (exposed, hidden), full in zip(overlapped_comm, blocking_comm)
+                )
+                checks.append(
+                    Check(
+                        "voltage_overlap_modeled_not_worse",
+                        passed=ok,
+                        detail=(
+                            f"exposed+hidden per layer {overlapped_comm} vs "
+                            f"blocking {blocking_comm}"
+                        ),
+                    )
+                )
 
         # 4. communication-volume meta vs the scheme-implied bytes
         expected_bytes = _expected_allgather_bytes(voltage, n)

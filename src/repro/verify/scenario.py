@@ -56,6 +56,7 @@ class ScenarioConfig:
     failures: tuple[tuple[int, int], ...] = ()
     image_size: int = 16  # vit only: seq_len = (image_size/patch_size)^2 + 1
     patch_size: int = 8
+    overlap: bool = False  # stream ring chunks into next-layer compute
 
     def __post_init__(self) -> None:
         if self.family not in FAMILIES:
@@ -88,6 +89,8 @@ class ScenarioConfig:
             extras.append(f"schedule[{len(self.schedule_ratios)}]")
         if self.failures:
             extras.append(f"failures={list(self.failures)}")
+        if self.overlap:
+            extras.append("overlap")
         tail = (" " + " ".join(extras)) if extras else ""
         return (
             f"seed={self.seed} {self.family} L={self.num_layers} F={self.hidden_size} "
@@ -118,6 +121,7 @@ class ScenarioConfig:
             "failures": [list(f) for f in self.failures],
             "image_size": self.image_size,
             "patch_size": self.patch_size,
+            "overlap": self.overlap,
         }
 
     @classmethod
@@ -176,6 +180,10 @@ def sample_scenario(seed: int) -> ScenarioConfig:
     if devices >= 2 and rng.random() < 0.25:
         failures = ((int(rng.integers(0, devices)), int(rng.integers(0, num_layers))),)
 
+    # drawn LAST so every earlier draw (and thus every pre-existing seed's
+    # scenario) is unchanged by the overlap dimension's introduction
+    overlap = bool(rng.random() < 0.4)
+
     return ScenarioConfig(
         seed=seed,
         family=family,
@@ -194,6 +202,7 @@ def sample_scenario(seed: int) -> ScenarioConfig:
         failures=failures,
         image_size=image_size,
         patch_size=patch_size,
+        overlap=overlap,
     )
 
 

@@ -39,6 +39,8 @@ def config_cost(config: ScenarioConfig) -> float:
         cost += 50
     if len(set(config.device_gflops)) > 1:
         cost += 25
+    if config.overlap:
+        cost += 10
     return float(cost)
 
 
@@ -117,6 +119,10 @@ def _candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
             yield c
     if config.order_mode != "adaptive":
         c = emit(_fixup(config, order_mode="adaptive"))
+        if c:
+            yield c
+    if config.overlap:
+        c = emit(_fixup(config, overlap=False))
         if c:
             yield c
     if (config.num_heads, config.head_dim) != (2, 4):

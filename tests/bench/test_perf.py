@@ -133,3 +133,32 @@ class TestRegressionGate:
         path.write_text(json.dumps({"schema": "other/v0", "modes": {}}))
         errors = perf.check_regression(self.payload(10.0), "quick", path)
         assert errors and "schema" in errors[0]
+
+    def overlap_payload(self, exposed, full, saving=0.01):
+        payload = self.payload(10.0)
+        payload["derived"]["voltage_exposed_comm_per_layer_s"] = exposed
+        payload["derived"]["voltage_modeled_comm_per_layer_s"] = full
+        payload["derived"]["voltage_overlap_modeled_saving_s"] = saving
+        return payload
+
+    def test_overlap_invariants_pass(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, ratio=10.0)
+        payload = self.overlap_payload(exposed=[0.01, 0.01], full=[0.012, 0.012])
+        assert perf.check_regression(payload, "quick", baseline) == []
+
+    def test_overlap_exposed_exceeding_blocking_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, ratio=10.0)
+        payload = self.overlap_payload(exposed=[0.02, 0.01], full=[0.012, 0.012])
+        errors = perf.check_regression(payload, "quick", baseline)
+        assert errors and "exceeds" in errors[0] and "layer 0" in errors[0]
+
+    def test_negative_overlap_saving_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, ratio=10.0)
+        payload = self.overlap_payload(exposed=[0.01], full=[0.012], saving=-1e-6)
+        errors = perf.check_regression(payload, "quick", baseline)
+        assert errors and "saving" in errors[0]
+
+    def test_payload_without_overlap_fields_still_validates(self, tmp_path):
+        """Pre-overlap baselines/payloads must not trip the new invariants."""
+        baseline = self.write_baseline(tmp_path, ratio=10.0)
+        assert perf.check_regression(self.payload(9.0), "quick", baseline) == []

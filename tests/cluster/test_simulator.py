@@ -35,6 +35,29 @@ class TestClusterSim:
     def test_terminal_compute(self, sim):
         assert sim.terminal_compute(2e9) == pytest.approx(2.0)
 
+    def test_all_gather_overlapped_exposes_remainder(self, sim):
+        chunk_bytes = [1e6] * 4
+        full_reference = sim.all_gather(chunk_bytes)
+        exposed, full = sim.all_gather_overlapped(
+            chunk_bytes, hideable_seconds=full_reference / 2
+        )
+        assert full == pytest.approx(full_reference)
+        assert exposed == pytest.approx(full / 2)
+
+    def test_all_gather_overlapped_clamps_at_zero(self, sim):
+        exposed, full = sim.all_gather_overlapped([1e6] * 4, hideable_seconds=1e9)
+        assert exposed == 0.0
+        assert full > 0.0
+
+    def test_all_gather_overlapped_zero_hideable_is_blocking(self, sim):
+        chunk_bytes = [1e6] * 4
+        exposed, full = sim.all_gather_overlapped(chunk_bytes, hideable_seconds=0.0)
+        assert exposed == pytest.approx(full)
+
+    def test_all_gather_overlapped_rejects_negative_hideable(self, sim):
+        with pytest.raises(ValueError):
+            sim.all_gather_overlapped([1e6] * 4, hideable_seconds=-1.0)
+
 
 class TestResource:
     def test_fifo_reservations(self):

@@ -53,3 +53,14 @@ class TestLatencyBreakdown:
     def test_summary_mentions_phases(self):
         text = self.make().summary()
         assert "sync" in text and "layer=0" in text and "total" in text
+
+    def test_hidden_comm_seconds_sums_hidden_phase_time(self):
+        latency = self.make()
+        latency.add("all-gather (overlapped)", "comm", 0.1, layer=1, hidden_s=0.25)
+        assert latency.hidden_comm_seconds == pytest.approx(0.25)
+        # hidden time is off the critical path — total counts only exposed
+        assert latency.total_seconds == pytest.approx(1.1)
+
+    def test_phase_rejects_negative_hidden(self):
+        with pytest.raises(ValueError):
+            Phase(name="x", kind="comm", seconds=0.1, hidden_s=-0.1)
