@@ -119,7 +119,10 @@ def _run_verify(args) -> int:
         return 0 if result.ok else 1
 
     report = verify.run_verification(
-        num_seeds=args.seeds, base_seed=args.base_seed, shrink=not args.no_shrink
+        num_seeds=args.seeds,
+        base_seed=args.base_seed,
+        shrink=not args.no_shrink,
+        force_runtime=args.runtime,
     )
     print(report.summary())
     if args.json is not None:
@@ -247,6 +250,9 @@ def main(argv: list[str] | None = None) -> int:
                              "every conformance check")
     parser.add_argument("--no-shrink", action="store_true",
                         help="verify: skip minimising failing configs")
+    parser.add_argument("--runtime", choices=["threaded", "process"], default=None,
+                        help="verify: pin every scenario's runtime axis "
+                             "(default: let each seed draw it)")
     parser.add_argument("--quick", action="store_true",
                         help="perf/serve: smaller workloads for the CI smoke lane")
     parser.add_argument("--check", action="store_true",

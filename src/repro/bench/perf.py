@@ -12,7 +12,11 @@ a perf trajectory:
 - ``bert_single_pass`` — one full forward over a BERT-Large prefix, the
   paper's actual measured workload;
 - ``voltage_threaded_layer`` — Algorithm 2 on 4 real threaded workers,
-  exercising the buffer-reusing collectives.
+  exercising the buffer-reusing collectives;
+- ``voltage_runtime_threaded`` / ``voltage_runtime_process`` — the same
+  deployment on the thread backend vs one OS process per rank over loopback
+  TCP sockets; the gate checks the deterministic socket byte count, not the
+  host-dependent wall ratio.
 
 Regression gating (``--check``) compares the in-run
 ``cached_decode_speedup_vs_legacy`` ratio against the committed baseline's
@@ -300,10 +304,65 @@ def _bench_voltage_overlap(quick: bool) -> tuple[dict, dict, dict]:
     return blk, ovl, derived
 
 
+def _bench_voltage_process(quick: bool) -> tuple[dict, dict, dict]:
+    """Threaded vs process-backed Voltage on the same deployment.
+
+    Returns (threaded workload, process workload, derived fields).  Outputs
+    are asserted bit-identical before any timing.  Wall-clock ratios vary by
+    host (the process backend pays fork + real socket hops but gains true
+    multi-core BLAS); the deterministic figure the regression gate checks is
+    ``voltage_process_socket_bytes`` — the total bytes that actually
+    traversed the loopback sockets, an exact integer fixed by the protocol.
+    """
+    from repro.bench.workloads import random_text
+    from repro.cluster.spec import ClusterSpec
+    from repro.models import BertModel, bert_large_config
+    from repro.systems.voltage import VoltageSystem
+
+    num_layers = 2 if quick else 4
+    n_words = 48 if quick else 128
+    config = bert_large_config().scaled(num_layers=num_layers)
+    model = BertModel(config, num_classes=2, rng=np.random.default_rng(0))
+    system = VoltageSystem(model, ClusterSpec.homogeneous(4))
+    ids = model.encode_text(random_text(n_words))
+
+    out_threaded, _ = system.execute_distributed(ids, runtime="threaded")
+    out_process, process_stats = system.execute_distributed(ids, runtime="process")
+    np.testing.assert_array_equal(out_threaded, out_process)
+
+    def threaded():
+        system.execute_distributed(ids, runtime="threaded")
+
+    def process():
+        system.execute_distributed(ids, runtime="process")
+
+    meta = dict(
+        model="bert-large", num_layers=num_layers, devices=4,
+        sequence_length=len(ids),
+    )
+    thr = _workload(
+        _time_samples(threaded, repeats=3, warmup=1),
+        _tracemalloc_peak(threaded), **meta, backend="threads + queue wire",
+    )
+    # tracemalloc only sees the parent's allocations for the process backend
+    # (children are separate interpreters), so the peak is bootstrap overhead
+    prc = _workload(
+        _time_samples(process, repeats=3, warmup=1),
+        _tracemalloc_peak(process), **meta, backend="processes + loopback TCP",
+    )
+    socket_bytes = int(sum(s.bytes_sent for s in process_stats))
+    derived = {
+        "voltage_process_wall_ratio": prc["median_s"] / thr["median_s"],
+        "voltage_process_socket_bytes": socket_bytes,
+    }
+    return thr, prc, derived
+
+
 def run_perf_suite(quick: bool = False) -> dict:
     """Run every workload; returns one mode's report payload."""
     opt, leg = _bench_gpt2_cached_decode(quick)
     overlap_blk, overlap_ovl, overlap_derived = _bench_voltage_overlap(quick)
+    process_thr, process_prc, process_derived = _bench_voltage_process(quick)
     workloads = {
         "gpt2_cached_decode": opt,
         "gpt2_cached_decode_legacy": leg,
@@ -311,6 +370,8 @@ def run_perf_suite(quick: bool = False) -> dict:
         "voltage_threaded_layer": _bench_voltage_threaded(quick),
         "voltage_threaded_blocking": overlap_blk,
         "voltage_threaded_overlapped": overlap_ovl,
+        "voltage_runtime_threaded": process_thr,
+        "voltage_runtime_process": process_prc,
     }
     derived = {
         "cached_decode_speedup_vs_legacy": leg["median_s"] / opt["median_s"],
@@ -318,6 +379,7 @@ def run_perf_suite(quick: bool = False) -> dict:
             leg["tracemalloc_peak_bytes"] / max(opt["tracemalloc_peak_bytes"], 1)
         ),
         **overlap_derived,
+        **process_derived,
     }
     return {"workloads": workloads, "derived": derived}
 
@@ -383,4 +445,14 @@ def check_regression(
         saving = derived.get("voltage_overlap_modeled_saving_s", 0.0)
         if saving < 0:
             errors.append(f"overlap model: negative modeled saving {saving!r}")
+    # the process runtime's socket byte count is protocol-determined: any
+    # change is a wire-format or accounting change, not host noise — exact
+    # equality, presence-guarded so pre-process baselines still validate
+    now_bytes = derived.get("voltage_process_socket_bytes")
+    base_bytes = base.get("derived", {}).get("voltage_process_socket_bytes")
+    if now_bytes is not None and base_bytes is not None and now_bytes != base_bytes:
+        errors.append(
+            f"process runtime socket bytes changed: {now_bytes} now vs "
+            f"{base_bytes} baseline (wire/accounting change?)"
+        )
     return errors

@@ -12,11 +12,14 @@ Substitutes the paper's six-VM Compute-Canada testbed (see DESIGN.md):
   discrete-event engine for pipelined protocols;
 - :mod:`repro.cluster.timeline` — per-phase latency breakdowns;
 - :mod:`repro.cluster.runtime` — thread-backed real execution with byte
-  accounting, proving protocol correctness.
+  accounting, proving protocol correctness;
+- :mod:`repro.cluster.process_runtime` — process-backed execution over real
+  loopback TCP sockets, the paper's deployment shape.
 """
 
 from repro.cluster.device import PAPER_EDGE_DEVICE_GFLOPS, DeviceSpec, calibrate_matmul_gflops
 from repro.cluster.network import NetworkSpec
+from repro.cluster.process_runtime import ProcessRuntime, ProcessWorkerContext, resolve_runtime
 from repro.cluster.runtime import CommStats, ThreadedRuntime, WorkerContext
 from repro.cluster.dynamics import SpeedTrace, constant_trace, random_walk_trace, spike_trace
 from repro.cluster.simulator import ClusterSim, EventEngine, Resource
@@ -44,9 +47,12 @@ __all__ = [
     "LatencyBreakdown",
     "NetworkSpec",
     "Phase",
+    "ProcessRuntime",
+    "ProcessWorkerContext",
     "Resource",
     "ThreadedRuntime",
     "WorkerContext",
     "calibrate_matmul_gflops",
     "paper_cluster",
+    "resolve_runtime",
 ]

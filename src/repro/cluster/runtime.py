@@ -61,25 +61,50 @@ class RuntimeError_(RuntimeError):
         self.cause = cause
 
 
+def _reduce_slice_bytes(array: np.ndarray, k: int) -> list[int]:
+    """Exact byte size of each rank's reduce-scatter slice of ``array``.
+
+    Mirrors :meth:`WorkerContext.all_reduce_async`'s ``divmod`` row split so
+    the emulated accounting of the blocking ``all_reduce`` equals the bytes
+    the executed ring actually moves — integers, even when ``k`` does not
+    divide the leading dimension.  0-d / zero-row arrays fall back to an
+    even byte split (the ring degenerates; only the total matters).
+    """
+    nbytes = int(array.nbytes)
+    if k <= 1:
+        return [nbytes]
+    if array.ndim == 0 or array.shape[0] == 0:
+        base, extra = divmod(nbytes, k)
+        return [base + (1 if j < extra else 0) for j in range(k)]
+    rows = array.shape[0]
+    row_bytes = nbytes // rows
+    base, extra = divmod(rows, k)
+    return [(base + (1 if j < extra else 0)) * row_bytes for j in range(k)]
+
+
 @dataclass
 class CommStats:
     """Per-worker traffic counters (ring-equivalent volumes for collectives).
 
-    ``bytes_copied`` counts local bytes written into collective output
-    buffers (the memory-traffic cost of materialising results), and
-    ``buffers_reused`` counts collective calls that wrote into a pooled
-    receive buffer instead of allocating a fresh one.
+    Every byte counter is an exact integer: the process runtime measures the
+    integer bytes that really cross a socket, and the emulated ring volumes
+    must not drift from those by float rounding (uneven splits used to push
+    ``2(K-1)·nbytes/K`` floats in here).  ``bytes_copied`` counts local bytes
+    written into collective output buffers (the memory-traffic cost of
+    materialising results), and ``buffers_reused`` counts collective calls
+    that wrote into a pooled receive buffer instead of allocating a fresh
+    one.
     """
 
-    bytes_sent: float = 0.0
-    bytes_received: float = 0.0
+    bytes_sent: int = 0
+    bytes_received: int = 0
     collective_calls: int = 0
     p2p_messages: int = 0
-    bytes_copied: float = 0.0
+    bytes_copied: int = 0
     buffers_reused: int = 0
 
     @property
-    def total_bytes(self) -> float:
+    def total_bytes(self) -> int:
         return self.bytes_sent + self.bytes_received
 
 
@@ -356,15 +381,23 @@ class WorkerContext:
                     out = out + arr
             shared.barrier.wait()
             k = self.world_size
-            ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
+            if k > 1:
+                # exact executed-ring volume (reduce-scatter + all-gather of
+                # the divmod row slices), not the float 2(K-1)·nbytes/K
+                slices = _reduce_slice_bytes(array, k)
+                total = sum(slices)
+                sent = (total - slices[self.rank]) + (total - slices[(self.rank + 1) % k])
+                received = (k - 1) * slices[self.rank] + (total - slices[self.rank])
+            else:
+                sent = received = 0
             self._add_stats(
-                bytes_sent=ring,
-                bytes_received=ring,
+                bytes_sent=sent,
+                bytes_received=received,
                 collective_calls=1,
                 # counted on both branches (the fallback used to skip it)
                 bytes_copied=out.nbytes,
             )
-            span.set(nbytes=ring)
+            span.set(nbytes=sent)
         return out
 
     def broadcast(self, array: np.ndarray | None, root: int = 0) -> np.ndarray:
@@ -413,30 +446,55 @@ class WorkerContext:
         self._collective_sequence += 1
         return (op, self._collective_sequence)
 
+    # -- frame transport hooks -------------------------------------------------
+    #
+    # Every byte that "crosses the wire" goes through these two methods.  The
+    # thread backend moves encoded frames through tagged in-process mailboxes;
+    # the process backend (repro.cluster.process_runtime) overrides them to
+    # move the same frames over loopback TCP sockets.  The returned byte
+    # counts are what lands in CommStats — for threads the frame length, for
+    # sockets the frame plus its envelope.
+
+    def _put_frame(self, dst: int, tag, frame: bytes) -> int:
+        """Deliver one encoded frame to ``dst``; return bytes sent."""
+        self._shared.mailbox(self.rank, dst, tag).put(frame)
+        return len(frame)
+
+    def _get_frame(self, src: int, tag, timeout: float, context: str) -> tuple[bytes, int]:
+        """Take the next frame from ``src``; return (frame, bytes received).
+
+        Raises :class:`RuntimeError_` wrapping a ``TimeoutError`` carrying
+        ``context`` when nothing arrives within ``timeout`` seconds.
+        """
+        try:
+            data = self._shared.mailbox(src, self.rank, tag).get(timeout=timeout)
+        except queue.Empty:
+            raise RuntimeError_(
+                self.rank,
+                TimeoutError(
+                    f"rank {self.rank} timed out after {timeout}s {context}"
+                ),
+            ) from None
+        return data, len(data)
+
     def _ring_send(self, dst: int, payload: np.ndarray, tag, step: int) -> None:
         from repro.cluster.wire import encode_frame
 
         frame = encode_frame(
             payload, kind=_RING_FRAME_KIND, sender=self.rank, sequence=step
         )
-        self._shared.mailbox(self.rank, dst, tag).put(frame)
-        self._add_stats(bytes_sent=len(frame))
+        sent = self._put_frame(dst, tag, frame)
+        self._add_stats(bytes_sent=sent)
 
     def _ring_recv(self, src: int, tag, context: str) -> np.ndarray:
         from repro.cluster.wire import decode_frame
 
-        try:
-            data = self._shared.mailbox(src, self.rank, tag).get(timeout=self._timeout)
-        except queue.Empty:
-            raise RuntimeError_(
-                self.rank,
-                TimeoutError(
-                    f"rank {self.rank} timed out after {self._timeout}s in "
-                    f"{context}, waiting on rank {src} (peer never sent, or died)"
-                ),
-            ) from None
+        data, received = self._get_frame(
+            src, tag, self._timeout,
+            context=f"in {context}, waiting on rank {src} (peer never sent, or died)",
+        )
         frame = decode_frame(data)
-        self._add_stats(bytes_received=len(data))
+        self._add_stats(bytes_received=received)
         return frame.payload
 
     def _ring_steps(self, array: np.ndarray, tag, op: str, on_chunk) -> None:
@@ -574,7 +632,14 @@ class WorkerContext:
                     self._add_stats(bytes_copied=acc.nbytes)
                     # phase 2 — ring all-gather of the reduced slices
                     self._ring_steps(acc, gather_tag, "async all-reduce gather", handle._deliver)
-                    ring = 2 * (k - 1) * array.nbytes / k if k > 1 else 0.0
+                    slices = _reduce_slice_bytes(array, k)
+                    total = sum(slices)
+                    ring = (
+                        (total - slices[self.rank])
+                        + (total - slices[(self.rank + 1) % k])
+                        if k > 1
+                        else 0
+                    )
                     span.set(nbytes=ring)
                 handle._finish()
             except BaseException as exc:  # noqa: BLE001 - surfaced via the handle
@@ -618,9 +683,9 @@ class WorkerContext:
             frame = encode_frame(
                 payload, kind=kind, sender=self.rank, sequence=self._sequence
             )
-            self._shared.mailbox(self.rank, dst).put(frame)
-            self._add_stats(bytes_sent=len(frame), p2p_messages=1)
-            span.set(nbytes=len(frame), dst=dst)
+            sent = self._put_frame(dst, None, frame)
+            self._add_stats(bytes_sent=sent, p2p_messages=1)
+            span.set(nbytes=sent, dst=dst)
 
     def recv(self, src: int, timeout: float | None = None) -> np.ndarray:
         from repro.cluster.wire import decode_frame
@@ -630,22 +695,16 @@ class WorkerContext:
         if timeout is None:
             timeout = self._timeout
         with self._span("recv") as span:
-            try:
-                data = self._shared.mailbox(src, self.rank).get(timeout=timeout)
-            except queue.Empty:
-                # a bare queue.Empty says nothing about who was waiting on
-                # whom — rewrap with the protocol context so a hung peer is
-                # diagnosable from the traceback alone
-                raise RuntimeError_(
-                    self.rank,
-                    TimeoutError(
-                        f"rank {self.rank} timed out after {timeout}s waiting to "
-                        f"recv from rank {src} (sender never sent, or died)"
-                    ),
-                ) from None
+            # a bare queue timeout says nothing about who was waiting on
+            # whom — _get_frame rewraps with the protocol context so a hung
+            # peer is diagnosable from the traceback alone
+            data, received = self._get_frame(
+                src, None, timeout,
+                context=f"waiting to recv from rank {src} (sender never sent, or died)",
+            )
             frame = decode_frame(data)
-            self._add_stats(bytes_received=len(data), p2p_messages=1)
-            span.set(nbytes=len(data), src=src)
+            self._add_stats(bytes_received=received, p2p_messages=1)
+            span.set(nbytes=received, src=src)
         return frame.payload
 
 

@@ -88,6 +88,13 @@ def decode_frame(data: bytes) -> Frame:
 
     Validates magic, version, and that the payload length matches the
     declared shape — truncated or corrupt frames fail loudly.
+
+    The returned payload is a fresh **writable** array that owns its memory.
+    ``np.frombuffer`` over the message bytes would yield a read-only view
+    (any downstream in-place op raises ``ValueError: assignment destination
+    is read-only``) that also pins the entire frame buffer alive for as long
+    as the payload is referenced; receivers are entitled to mutate what they
+    received, exactly as if it had arrived in a private device buffer.
     """
     if len(data) < _HEADER.size:
         raise WireError(f"frame too short: {len(data)} bytes")
@@ -113,5 +120,6 @@ def decode_frame(data: bytes) -> Frame:
     body = data[offset:]
     if len(body) != expected:
         raise WireError(f"payload length {len(body)} != expected {expected}")
-    payload = np.frombuffer(body, dtype=dtype).reshape(shape)
+    payload = np.empty(shape, dtype=dtype)
+    payload.ravel()[:] = np.frombuffer(body, dtype=dtype)
     return Frame(kind=kind, sender=sender, sequence=sequence, payload=payload)

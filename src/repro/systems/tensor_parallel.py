@@ -18,7 +18,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.cluster.runtime import CommStats, ThreadedRuntime
+from repro.cluster.process_runtime import resolve_runtime
+from repro.cluster.runtime import CommStats
 from repro.cluster.spec import ClusterSpec
 from repro.cluster.timeline import LatencyBreakdown
 from repro.core import complexity
@@ -205,12 +206,29 @@ class TensorParallelSystem(InferenceSystem):
             },
         )
 
-    # -- real threaded execution -------------------------------------------------
+    # -- real distributed execution (threads or processes) -----------------------
 
     def execute_threaded(
         self, raw, overlap: bool = False
     ) -> tuple[np.ndarray, list[CommStats]]:
+        """Run the shard/All-Reduce protocol on real thread workers.
+
+        Kept as the historical entry point; equivalent to
+        ``execute_distributed(raw, runtime="threaded", overlap=overlap)``.
+        """
+        return self.execute_distributed(raw, runtime="threaded", overlap=overlap)
+
+    def execute_distributed(
+        self, raw, runtime=None, overlap: bool = False
+    ) -> tuple[np.ndarray, list[CommStats]]:
         """Run the shard/All-Reduce protocol on real concurrent workers.
+
+        ``runtime`` selects the backend exactly as in
+        :meth:`VoltageSystem.execute_distributed
+        <repro.systems.voltage.VoltageSystem.execute_distributed>`:
+        ``None``/``"threaded"``, ``"process"`` (one OS process per rank over
+        loopback TCP), or a runtime instance — same worker body, so outputs
+        are bit-identical across backends.
 
         With ``overlap``, the two per-layer All-Reduces go through the
         nonblocking ring (:meth:`~repro.cluster.runtime.WorkerContext.
@@ -282,8 +300,7 @@ class TensorParallelSystem(InferenceSystem):
                     x = y + ffn_sum
             return x
 
-        runtime = ThreadedRuntime(self.k)
-        results, stats = runtime.run(worker)
+        results, stats = resolve_runtime(runtime, self.k).run(worker)
         hidden = results[0]
         for other in results[1:]:
             np.testing.assert_array_equal(hidden, other)

@@ -23,7 +23,8 @@ import numpy as np
 
 from repro import obs
 from repro.cluster.collectives import all_gather_arrays
-from repro.cluster.runtime import CommStats, ThreadedRuntime
+from repro.cluster.process_runtime import resolve_runtime
+from repro.cluster.runtime import CommStats
 from repro.cluster.timeline import LatencyBreakdown
 from repro.core.complexity import prologue_flops
 from repro.core.layer import OrderPolicy, PartitionedLayerExecutor
@@ -231,12 +232,30 @@ class VoltageSystem(InferenceSystem):
             },
         )
 
-    # -- real threaded execution ------------------------------------------------
+    # -- real distributed execution (threads or processes) ----------------------
 
     def execute_threaded(
         self, raw, overlap: bool | None = None
     ) -> tuple[np.ndarray, list[CommStats]]:
+        """Run Algorithm 2 on real concurrent thread workers.
+
+        Kept as the historical entry point; equivalent to
+        ``execute_distributed(raw, runtime="threaded", overlap=overlap)``.
+        """
+        return self.execute_distributed(raw, runtime="threaded", overlap=overlap)
+
+    def execute_distributed(
+        self, raw, runtime=None, overlap: bool | None = None
+    ) -> tuple[np.ndarray, list[CommStats]]:
         """Run Algorithm 2 on real concurrent workers.
+
+        ``runtime`` selects the backend: ``None``/``"threaded"`` runs one
+        thread per rank over in-process mailboxes, ``"process"`` runs one OS
+        process per rank over loopback TCP sockets
+        (:class:`~repro.cluster.process_runtime.ProcessRuntime` — the
+        paper's deployment shape), or pass an already-built runtime.  The
+        worker body is identical either way, so outputs are bit-identical
+        across backends.
 
         Every worker holds the full model replica (Voltage's deployment
         assumption), computes its partition per layer, applies the configured
@@ -331,8 +350,7 @@ class VoltageSystem(InferenceSystem):
                 x, normed, qp = stream_next_layer(ctx, handle, parts, index)
             return x
 
-        runtime = ThreadedRuntime(self.k)
-        results, stats = runtime.run(worker)
+        results, stats = resolve_runtime(runtime, self.k).run(worker)
         hidden = results[0]
         for other in results[1:]:
             np.testing.assert_array_equal(hidden, other)

@@ -30,11 +30,22 @@ def _flatten_name(name: str) -> str:
     return name
 
 
-def save_checkpoint(model: Module, path: str | Path, compress: bool = True) -> Path:
-    """Write ``model``'s parameters to ``path`` (``.npz`` appended if absent)."""
+def _normalise_path(path: str | Path) -> Path:
+    """Append ``.npz`` when absent — identically in every entry point.
+
+    ``save_checkpoint(model, "replica")`` writes ``replica.npz``; the load
+    and manifest paths must resolve the same spelling to the same file, or a
+    round-trip through a suffix-less path raises ``checkpoint not found``.
+    """
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    return path
+
+
+def save_checkpoint(model: Module, path: str | Path, compress: bool = True) -> Path:
+    """Write ``model``'s parameters to ``path`` (``.npz`` appended if absent)."""
+    path = _normalise_path(path)
     state = model.state_dict()
     manifest = np.array(sorted(state.keys()), dtype=object)
     arrays = {_flatten_name(name): value for name, value in state.items()}
@@ -47,7 +58,10 @@ def save_checkpoint(model: Module, path: str | Path, compress: bool = True) -> P
 
 def checkpoint_manifest(path: str | Path) -> list[str]:
     """Parameter names stored in a checkpoint, without loading tensors."""
-    with np.load(Path(path), allow_pickle=True) as archive:
+    path = _normalise_path(path)
+    if not path.exists():
+        raise CheckpointError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=True) as archive:
         if _MANIFEST_KEY not in archive:
             raise CheckpointError(f"{path} has no manifest — not a repro checkpoint")
         return [str(name) for name in archive[_MANIFEST_KEY]]
@@ -61,7 +75,7 @@ def load_checkpoint(model: Module, path: str | Path, strict: bool = True) -> Non
     ``strict=False`` loads the intersection (e.g. a backbone into a model
     with a fresh task head).
     """
-    path = Path(path)
+    path = _normalise_path(path)
     if not path.exists():
         raise CheckpointError(f"checkpoint not found: {path}")
     with np.load(path, allow_pickle=True) as archive:

@@ -106,8 +106,14 @@ def run_verification(
     shrink: bool = True,
     voltage_factory=default_voltage_factory,
     max_shrink_attempts: int = 60,
+    force_runtime: str | None = None,
 ) -> VerifyReport:
-    """Fuzz ``num_seeds`` scenarios; shrink whatever fails."""
+    """Fuzz ``num_seeds`` scenarios; shrink whatever fails.
+
+    ``force_runtime`` pins every sampled scenario's ``runtime`` axis (e.g.
+    ``"process"`` for a process-runtime conformance lane) instead of letting
+    the seed draw it.
+    """
     if num_seeds < 1:
         raise ValueError(f"need at least one seed, got {num_seeds}")
     registry = MetricsRegistry()
@@ -116,6 +122,8 @@ def run_verification(
     with use_registry(registry):
         for seed in range(base_seed, base_seed + num_seeds):
             config = sample_scenario(seed)
+            if force_runtime is not None:
+                config = config.replaced(runtime=force_runtime)
             scenario_started = time.perf_counter()
             result = run_scenario(config, voltage_factory=voltage_factory)
             registry.histogram("verify.scenario_seconds").observe(

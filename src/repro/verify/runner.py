@@ -191,6 +191,20 @@ def run_scenario(
                 detail=f"max|diff|={max_abs_diff(threaded, vrun.output):.3e} (must be bit-identical)",
             )
         )
+        if config.runtime == "process":
+            # the socket-backed process runtime must not perturb a single bit
+            # relative to the thread backend (same worker body, same order)
+            process_out, _ = voltage.execute_distributed(raw, runtime="process")
+            checks.append(
+                Check(
+                    "voltage_process_vs_threaded",
+                    passed=bool(np.array_equal(process_out, threaded)),
+                    detail=(
+                        f"max|diff|={max_abs_diff(process_out, threaded):.3e} "
+                        "(ProcessRuntime vs ThreadedRuntime, must be bit-identical)"
+                    ),
+                )
+            )
         # keyed on the *system's* overlap setting (not the config's) so
         # factory-substituted subclasses without the overlap machinery are
         # exercised through the checks they actually implement
@@ -299,6 +313,18 @@ def run_scenario(
                 detail=f"max|diff|={max_abs_diff(tp_threaded, tp_run.output):.3e}",
             )
         )
+        if config.runtime == "process":
+            tp_process, _ = tp.execute_distributed(raw, runtime="process")
+            checks.append(
+                Check(
+                    "tensor_parallel_process_vs_threaded",
+                    passed=bool(np.array_equal(tp_process, tp_threaded)),
+                    detail=(
+                        f"max|diff|={max_abs_diff(tp_process, tp_threaded):.3e} "
+                        "(ProcessRuntime vs ThreadedRuntime, must be bit-identical)"
+                    ),
+                )
+            )
 
         # 6. pipeline parallelism applies the same layers sequentially
         pipeline = PipelineParallelSystem(model, cluster).run(raw)

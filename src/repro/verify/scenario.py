@@ -33,6 +33,7 @@ FAMILIES = ("bert", "gpt2", "vit")
 SCHEME_KINDS = ("even", "proportional", "auto", "schedule")
 WIRE_DTYPES = ("float32", "float16", "int8")
 ORDER_MODES = ("adaptive", "naive", "reordered")
+RUNTIMES = ("threaded", "process")
 
 
 @dataclass(frozen=True)
@@ -57,8 +58,11 @@ class ScenarioConfig:
     image_size: int = 16  # vit only: seq_len = (image_size/patch_size)^2 + 1
     patch_size: int = 8
     overlap: bool = False  # stream ring chunks into next-layer compute
+    runtime: str = "threaded"  # worker backend: threads or OS processes
 
     def __post_init__(self) -> None:
+        if self.runtime not in RUNTIMES:
+            raise ValueError(f"runtime must be one of {RUNTIMES}, got {self.runtime!r}")
         if self.family not in FAMILIES:
             raise ValueError(f"family must be one of {FAMILIES}, got {self.family!r}")
         if self.scheme_kind not in SCHEME_KINDS:
@@ -91,6 +95,8 @@ class ScenarioConfig:
             extras.append(f"failures={list(self.failures)}")
         if self.overlap:
             extras.append("overlap")
+        if self.runtime != "threaded":
+            extras.append(self.runtime)
         tail = (" " + " ".join(extras)) if extras else ""
         return (
             f"seed={self.seed} {self.family} L={self.num_layers} F={self.hidden_size} "
@@ -122,6 +128,7 @@ class ScenarioConfig:
             "image_size": self.image_size,
             "patch_size": self.patch_size,
             "overlap": self.overlap,
+            "runtime": self.runtime,
         }
 
     @classmethod
@@ -183,6 +190,9 @@ def sample_scenario(seed: int) -> ScenarioConfig:
     # drawn LAST so every earlier draw (and thus every pre-existing seed's
     # scenario) is unchanged by the overlap dimension's introduction
     overlap = bool(rng.random() < 0.4)
+    # runtime drawn after overlap for the same reason; process scenarios are
+    # the minority draw (each forks real OS processes, so they cost more)
+    runtime = "process" if rng.random() < 0.2 else "threaded"
 
     return ScenarioConfig(
         seed=seed,
@@ -203,6 +213,7 @@ def sample_scenario(seed: int) -> ScenarioConfig:
         image_size=image_size,
         patch_size=patch_size,
         overlap=overlap,
+        runtime=runtime,
     )
 
 

@@ -41,6 +41,8 @@ def config_cost(config: ScenarioConfig) -> float:
         cost += 25
     if config.overlap:
         cost += 10
+    if config.runtime != "threaded":
+        cost += 10  # a process fleet is heavier to replay than threads
     return float(cost)
 
 
@@ -123,6 +125,10 @@ def _candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
             yield c
     if config.overlap:
         c = emit(_fixup(config, overlap=False))
+        if c:
+            yield c
+    if config.runtime != "threaded":
+        c = emit(_fixup(config, runtime="threaded"))
         if c:
             yield c
     if (config.num_heads, config.head_dim) != (2, 4):

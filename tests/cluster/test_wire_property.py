@@ -1,0 +1,171 @@
+"""Property/fuzz tests for the wire format (``repro.cluster.wire``).
+
+The process runtime leans on this encoding for every socket frame, so the
+round-trip guarantees are load-bearing: any payload survives encode/decode
+bit-for-bit, the declared ``Frame.nbytes`` equals the encoded length, the
+decoded payload is always writable, and malformed bytes fail with
+``WireError`` rather than garbage arrays.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.wire import (
+    Frame,
+    WireError,
+    decode_frame,
+    encode_frame,
+    frame_overhead_bytes,
+)
+
+DTYPES = ["float32", "float64", "float16", "int8", "uint8", "int32", "int64", "bool"]
+
+
+@st.composite
+def arrays(draw):
+    dtype = np.dtype(draw(st.sampled_from(DTYPES)))
+    ndim = draw(st.integers(min_value=0, max_value=4))
+    shape = tuple(draw(st.integers(min_value=0, max_value=5)) for _ in range(ndim))
+    count = int(np.prod(shape, dtype=np.int64)) if ndim else 1
+    data = draw(
+        st.binary(min_size=count * dtype.itemsize, max_size=count * dtype.itemsize)
+    )
+    if dtype.kind == "f":
+        # normalise NaN payload bits away so bit-equality assertions hold
+        array = np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+        return np.nan_to_num(array)
+    return np.frombuffer(data, dtype=dtype).reshape(shape).copy()
+
+
+class TestRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        payload=arrays(),
+        kind=st.integers(0, 255),
+        sender=st.integers(0, 2**16 - 1),
+        sequence=st.integers(0, 2**32 - 1),
+    )
+    def test_roundtrip_exact(self, payload, kind, sender, sequence):
+        data = encode_frame(payload, kind=kind, sender=sender, sequence=sequence)
+        frame = decode_frame(data)
+        assert frame.kind == kind
+        assert frame.sender == sender
+        assert frame.sequence == sequence
+        # encode_frame canonicalises via ascontiguousarray, which promotes
+        # 0-d payloads to shape (1,); everything else round-trips unchanged
+        canonical = np.ascontiguousarray(payload)
+        assert frame.payload.dtype == canonical.dtype
+        assert frame.payload.shape == canonical.shape
+        np.testing.assert_array_equal(frame.payload, canonical)
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=arrays())
+    def test_nbytes_matches_encoded_length(self, payload):
+        data = encode_frame(payload, kind=1, sender=2, sequence=3)
+        frame = decode_frame(data)
+        assert frame.nbytes == len(data)
+        canonical = np.ascontiguousarray(payload)
+        assert len(data) == frame_overhead_bytes(canonical.ndim) + canonical.nbytes
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=arrays())
+    def test_decoded_payload_is_writable(self, payload):
+        frame = decode_frame(encode_frame(payload))
+        assert frame.payload.flags.writeable
+        assert frame.payload.flags.owndata
+        if frame.payload.size:
+            # in-place mutation must succeed and not touch the wire bytes
+            frame.payload.ravel()[0] = frame.payload.ravel()[0]
+
+    @pytest.mark.parametrize("dtype", ["float32", "float16", "int8"])
+    def test_wire_dtypes_roundtrip(self, dtype):
+        payload = (np.arange(12).reshape(3, 4) % 100).astype(dtype)
+        np.testing.assert_array_equal(decode_frame(encode_frame(payload)).payload, payload)
+
+    def test_zero_dim_and_empty(self):
+        for payload in (np.float32(3.5)[()], np.empty((0, 4), dtype=np.int8)):
+            decoded = decode_frame(encode_frame(np.asarray(payload))).payload
+            np.testing.assert_array_equal(decoded, np.asarray(payload))
+
+
+class TestWritabilityRegression:
+    def test_payload_not_readonly_view_of_message(self):
+        """Regression: decode_frame used np.frombuffer over the message
+        bytes, returning a read-only array — any receiver doing an in-place
+        op crashed with 'assignment destination is read-only'."""
+        payload = decode_frame(encode_frame(np.ones((2, 3), dtype=np.float32))).payload
+        payload += 1.0  # raised ValueError before the fix
+        np.testing.assert_array_equal(payload, np.full((2, 3), 2.0, np.float32))
+
+    def test_payload_does_not_pin_frame_buffer(self):
+        data = encode_frame(np.arange(8, dtype=np.int64))
+        frame = decode_frame(data)
+        assert frame.payload.base is None  # owns its memory, not a view of data
+
+
+class TestMalformedFrames:
+    @settings(max_examples=200, deadline=None)
+    @given(junk=st.binary(min_size=0, max_size=64))
+    def test_random_bytes_never_crash_uncontrolled(self, junk):
+        """Arbitrary bytes either decode (astronomically unlikely) or raise
+        WireError — never segfault, never raise an unrelated exception."""
+        try:
+            decode_frame(junk)
+        except WireError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=arrays(), cut=st.integers(min_value=1, max_value=20))
+    def test_truncated_frames_rejected(self, payload, cut):
+        data = encode_frame(payload)
+        truncated = data[: max(0, len(data) - cut)]
+        if truncated == data:  # cut beyond length with empty payloads
+            return
+        with pytest.raises(WireError):
+            decode_frame(truncated)
+
+    @settings(max_examples=100, deadline=None)
+    @given(payload=arrays(), extra=st.binary(min_size=1, max_size=16))
+    def test_trailing_garbage_rejected(self, payload, extra):
+        with pytest.raises(WireError, match="payload length"):
+            decode_frame(encode_frame(payload) + extra)
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(encode_frame(np.zeros(2)))
+        data[:4] = b"XXXX"
+        with pytest.raises(WireError, match="magic"):
+            decode_frame(bytes(data))
+
+    def test_bad_version_rejected(self):
+        data = bytearray(encode_frame(np.zeros(2)))
+        data[4] = 99
+        with pytest.raises(WireError, match="version"):
+            decode_frame(bytes(data))
+
+    def test_bad_dtype_rejected(self):
+        data = bytearray(encode_frame(np.zeros(2)))
+        data[12:20] = b"<q9\xff\0\0\0\0"
+        with pytest.raises(WireError):
+            decode_frame(bytes(data))
+
+    def test_encode_rejects_out_of_range_metadata(self):
+        payload = np.zeros(2)
+        with pytest.raises(WireError, match="kind"):
+            encode_frame(payload, kind=256)
+        with pytest.raises(WireError, match="sender"):
+            encode_frame(payload, sender=-1)
+        with pytest.raises(WireError, match="sequence"):
+            encode_frame(payload, sequence=2**32)
+
+    def test_encode_rejects_excessive_rank(self):
+        with pytest.raises(WireError, match="rank"):
+            encode_frame(np.zeros((1,) * 9))
+
+
+class TestFrameDataclass:
+    def test_nbytes_property(self):
+        payload = np.ones((3, 5), dtype=np.float16)
+        frame = Frame(kind=0, sender=0, sequence=0, payload=payload)
+        assert frame.nbytes == frame_overhead_bytes(2) + payload.nbytes

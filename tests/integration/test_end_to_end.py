@@ -151,7 +151,9 @@ class TestCommReconciliation:
         t_formula = tensor_parallel_layer_bytes(n, f, k) * bert.num_layers
 
         assert v_stats[0].bytes_received == pytest.approx(v_formula, rel=0.15)
-        assert t_stats[0].bytes_received == pytest.approx(t_formula, rel=0.01)
+        # exact per-rank ring integers vs the uniform 2(K-1)/K closed form:
+        # uneven row splits drift by up to ~(K-1)/N
+        assert t_stats[0].bytes_received == pytest.approx(t_formula, rel=0.05)
         measured_ratio = t_stats[0].bytes_received / v_stats[0].bytes_received
         assert measured_ratio == pytest.approx(4.0, rel=0.15)
 

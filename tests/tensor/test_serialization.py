@@ -34,6 +34,25 @@ class TestRoundtrip:
         assert path.suffix == ".npz"
         assert path.exists()
 
+    def test_suffixless_path_roundtrips(self, model, tmp_path):
+        """Regression: save appended .npz but load/manifest looked up the
+        literal suffix-less path, so the exact path passed to save_checkpoint
+        could not be passed back to load_checkpoint."""
+        stem = tmp_path / "weights"
+        save_checkpoint(model, stem)
+        names = checkpoint_manifest(stem)  # raised CheckpointError before fix
+        assert sorted(names) == sorted(n for n, _ in model.named_parameters())
+        clone = BertModel(tiny_config(num_layers=2), num_classes=2,
+                          rng=np.random.default_rng(12))
+        load_checkpoint(clone, stem)
+        ids = model.encode_text("suffixless")
+        np.testing.assert_allclose(clone(ids), model(ids), atol=1e-7)
+
+    def test_explicit_suffix_untouched(self, model, tmp_path):
+        path = save_checkpoint(model, tmp_path / "explicit.npz")
+        assert path.name == "explicit.npz"
+        load_checkpoint(model, path)
+
     def test_manifest_lists_all_parameters(self, model, tmp_path):
         path = save_checkpoint(model, tmp_path / "m")
         names = checkpoint_manifest(path)
