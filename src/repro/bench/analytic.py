@@ -27,6 +27,7 @@ from repro.systems.base import activation_bytes
 __all__ = [
     "single_device_latency",
     "voltage_latency",
+    "voltage_decode_latency",
     "tensor_parallel_latency",
     "pipeline_latency",
 ]
@@ -184,4 +185,69 @@ def pipeline_latency(
         hop = "return hidden to terminal" if rank == k - 1 else f"stage {rank}->{rank + 1}"
         latency.add(hop, "comm", sim.point_to_point(wire))
     _terminal_phases(sim, latency, post_flops, "postprocess (terminal)")
+    return latency
+
+
+def voltage_decode_latency(
+    config: TransformerConfig,
+    prompt_len: int,
+    max_new_tokens: int,
+    cluster: ClusterSpec,
+    scheme: PartitionScheme | None = None,
+) -> LatencyBreakdown:
+    """Mirror of :func:`repro.systems.decode.run_decode`'s timeline.
+
+    Prices greedy generation with a position-sharded KV cache: every step
+    is a replicated compute makespan of the decode-phase Γ model
+    (``decode_step_flops`` plus the tied LM head) followed by two lossless
+    K/V shard all-gathers per layer.  Spans are fixed over the request's
+    full capacity, so each step's chunk sizes are the spans clipped to the
+    filled prefix.  Phase names, kinds and step structure match
+    ``run_decode`` exactly — the verify harness compares the two
+    phase-by-phase.
+    """
+    from repro.systems.decode import decode_step_totals
+
+    sim = ClusterSim(cluster)
+    k = cluster.num_devices
+    scheme = scheme if scheme is not None else PartitionScheme.even(k)
+    capacity = min(prompt_len + max_new_tokens, config.max_positions)
+    parts = scheme.positions(capacity)
+    post_flops = config.hidden_size * config.vocab_size  # tied LM head
+    kv_itemsize = 4  # K/V rows cross the wire lossless in float32
+
+    latency = LatencyBreakdown()
+    latency.add("broadcast prompt", "comm", sim.broadcast(8 * prompt_len))
+
+    totals = decode_step_totals(prompt_len, max_new_tokens, config.max_positions)
+    for step_index, total in enumerate(totals):
+        added = prompt_len if step_index == 0 else 1
+        flops = complexity.decode_step_flops(
+            total,
+            config.num_layers,
+            config.hidden_size,
+            config.head_dim,
+            config.num_heads,
+            config.ffn_dim,
+            new_positions=added,
+        ) + post_flops
+        compute_s = sim.compute_makespan([flops] * k)
+        comm_s = 0.0
+        for _ in range(config.num_layers):
+            chunk_bytes = [
+                config.num_heads
+                * max(0, min(part.stop, total) - max(part.start, 0))
+                * config.head_dim
+                * kv_itemsize
+                for part in parts
+            ]
+            comm_s += sim.all_gather(chunk_bytes)  # K shard rows
+            comm_s += sim.all_gather(chunk_bytes)  # V shard rows
+        latency.add("decode step compute", "compute", compute_s, layer=step_index)
+        latency.add("kv shard all-gather", "comm", comm_s, layer=step_index)
+
+    final_len = prompt_len if prompt_len >= config.max_positions else min(
+        prompt_len + max_new_tokens, config.max_positions
+    )
+    latency.add("gather output to terminal", "comm", sim.point_to_point(8 * final_len))
     return latency

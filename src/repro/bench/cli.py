@@ -123,6 +123,7 @@ def _run_verify(args) -> int:
         base_seed=args.base_seed,
         shrink=not args.no_shrink,
         force_runtime=args.runtime,
+        force_decode=args.decode,
     )
     print(report.summary())
     if args.json is not None:
@@ -253,6 +254,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--runtime", choices=["threaded", "process"], default=None,
                         help="verify: pin every scenario's runtime axis "
                              "(default: let each seed draw it)")
+    parser.add_argument("--decode", action="store_true",
+                        help="verify: pin every scenario to a gpt2 distributed-decode "
+                             "scenario (the decode conformance lane)")
     parser.add_argument("--quick", action="store_true",
                         help="perf/serve: smaller workloads for the CI smoke lane")
     parser.add_argument("--check", action="store_true",

@@ -17,6 +17,10 @@ a perf trajectory:
   deployment on the thread backend vs one OS process per rank over loopback
   TCP sockets; the gate checks the deterministic socket byte count, not the
   host-dependent wall ratio.
+- ``voltage_decode_single`` / ``voltage_decode_distributed`` — KV-cached
+  greedy decode on one device vs position-sharded across 2 threaded ranks,
+  bit-identity asserted before timing; the gate checks the deterministic
+  per-device KV-shard all-gather byte count.
 
 Regression gating (``--check``) compares the in-run
 ``cached_decode_speedup_vs_legacy`` ratio against the committed baseline's
@@ -358,11 +362,75 @@ def _bench_voltage_process(quick: bool) -> tuple[dict, dict, dict]:
     return thr, prc, derived
 
 
+def _bench_voltage_decode(quick: bool) -> tuple[dict, dict, dict]:
+    """Single-device vs distributed KV-cached greedy decode.
+
+    Returns (single-device workload, distributed workload, derived fields).
+    Token outputs are asserted bit-identical before any timing — that is the
+    whole contract of position-sharded decode.  The wall ratio is
+    host-dependent (the distributed loop pays K-way thread coordination and
+    a per-layer-per-step shard all-gather to buy the O(T/K) cache
+    footprint); the deterministic figure the regression gate checks is
+    ``voltage_decode_kv_gather_bytes`` — the per-device shard all-gather
+    traffic of the whole generation, an exact integer fixed by the shard
+    geometry and the greedy loop.
+    """
+    from repro.cluster.spec import ClusterSpec
+    from repro.models import GPT2Model
+    from repro.models.config import gpt2_config
+    from repro.systems.decode import generate_distributed, run_decode
+    from repro.systems.voltage import VoltageSystem
+
+    num_layers = 2 if quick else 4
+    prompt_len = 8 if quick else 16
+    new_tokens = 8 if quick else 24
+    devices = 2
+    config = gpt2_config().scaled(num_layers=num_layers)
+    model = GPT2Model(config, rng=np.random.default_rng(0))
+    system = VoltageSystem(model, ClusterSpec.homogeneous(devices))
+    prompt = np.random.default_rng(2).integers(0, config.vocab_size, size=prompt_len)
+
+    reference = model.generate_cached(prompt, max_new_tokens=new_tokens)
+    distributed_ids, _ = generate_distributed(
+        system, prompt, max_new_tokens=new_tokens
+    )
+    np.testing.assert_array_equal(distributed_ids, reference)
+
+    def single():
+        model.generate_cached(prompt, max_new_tokens=new_tokens)
+
+    def distributed():
+        generate_distributed(system, prompt, max_new_tokens=new_tokens)
+
+    meta = dict(
+        model="gpt2", num_layers=num_layers, prompt_tokens=prompt_len,
+        new_tokens=new_tokens,
+    )
+    sgl = _workload(
+        _time_samples(single, repeats=3, warmup=0),
+        _tracemalloc_peak(single), **meta, devices=1,
+    )
+    dst = _workload(
+        _time_samples(distributed, repeats=3, warmup=0),
+        _tracemalloc_peak(distributed), **meta, devices=devices,
+        kv_storage="position-sharded",
+    )
+    gather_bytes = run_decode(system, prompt, max_new_tokens=new_tokens).meta[
+        "kv_gather_bytes_per_device"
+    ]
+    derived = {
+        "voltage_decode_wall_ratio": dst["median_s"] / sgl["median_s"],
+        "voltage_decode_kv_gather_bytes": int(gather_bytes),
+    }
+    return sgl, dst, derived
+
+
 def run_perf_suite(quick: bool = False) -> dict:
     """Run every workload; returns one mode's report payload."""
     opt, leg = _bench_gpt2_cached_decode(quick)
     overlap_blk, overlap_ovl, overlap_derived = _bench_voltage_overlap(quick)
     process_thr, process_prc, process_derived = _bench_voltage_process(quick)
+    decode_sgl, decode_dst, decode_derived = _bench_voltage_decode(quick)
     workloads = {
         "gpt2_cached_decode": opt,
         "gpt2_cached_decode_legacy": leg,
@@ -372,6 +440,8 @@ def run_perf_suite(quick: bool = False) -> dict:
         "voltage_threaded_overlapped": overlap_ovl,
         "voltage_runtime_threaded": process_thr,
         "voltage_runtime_process": process_prc,
+        "voltage_decode_single": decode_sgl,
+        "voltage_decode_distributed": decode_dst,
     }
     derived = {
         "cached_decode_speedup_vs_legacy": leg["median_s"] / opt["median_s"],
@@ -380,6 +450,7 @@ def run_perf_suite(quick: bool = False) -> dict:
         ),
         **overlap_derived,
         **process_derived,
+        **decode_derived,
     }
     return {"workloads": workloads, "derived": derived}
 
@@ -454,5 +525,14 @@ def check_regression(
         errors.append(
             f"process runtime socket bytes changed: {now_bytes} now vs "
             f"{base_bytes} baseline (wire/accounting change?)"
+        )
+    # likewise, the decode KV-shard all-gather volume is fixed by the shard
+    # geometry and the greedy loop — exact equality, presence-guarded
+    now_kv = derived.get("voltage_decode_kv_gather_bytes")
+    base_kv = base.get("derived", {}).get("voltage_decode_kv_gather_bytes")
+    if now_kv is not None and base_kv is not None and now_kv != base_kv:
+        errors.append(
+            f"decode KV all-gather bytes changed: {now_kv} now vs "
+            f"{base_kv} baseline (shard geometry or loop change?)"
         )
     return errors

@@ -405,4 +405,123 @@ def speedup_bound_naive(n: int, k: int, f: int, fh: int) -> float:
     return full / gamma_eq3(n, p, f, fh).total
 
 
+# ---------------------------------------------------------------------------
+# Decode-phase Γ (autoregressive generation with a KV cache)
+# ---------------------------------------------------------------------------
+#
+# Prefill is the paper's workload: P positions of an N-token pass.  A decode
+# step is the degenerate P=1 partition of an N that grows by one per token —
+# and with a KV cache the K/V projections of the N-1 old positions are
+# amortised away entirely, which changes the optimal order:
+#
+# - Theorem 2 at P=1 says the *uncached* reordered Eq. (8) beats Eq. (3)
+#   once ``1 - 1/N > (F-F_H)/(F·F_H)`` — for realistic dims that is nearly
+#   every step, so a cache-less per-token loop would want Eq. (8).
+# - But Eq. (8) wins precisely by never materialising K (it reassociates
+#   the products so the ``(N, F_H)`` key matrix is skipped), and the KV
+#   cache *is* the materialised K/V.  Caching therefore forces the Eq. (3)
+#   ordering — whose cached per-step cost beats either uncached order for
+#   every N past the prompt (the ablation in EXPERIMENTS.md tabulates all
+#   three).
+
+
+def decode_gamma_cached(t: int, f: int, fh: int, new_positions: int = 1) -> OrderCost:
+    """Per-head cost of one KV-cached decode step against ``t`` total positions.
+
+    ``new_positions`` (= P) rows are projected (fused QKV: ``3·P·F·F_H``)
+    and attended against the full cached history (``2·P·t·F_H`` for the
+    score and value products); the old positions' K/V cost is already paid.
+    ``t`` counts positions *after* the append, matching the score-matrix
+    width the executed step really multiplies.
+    """
+    p = new_positions
+    if p < 1 or t < p:
+        raise ValueError(f"need 1 <= new_positions <= t, got P={p}, t={t}")
+    if f < 1 or fh < 1:
+        raise ValueError(f"feature dims must be positive, got F={f}, F_H={fh}")
+    return OrderCost(matmul=3 * p * f * fh + 2 * p * t * fh, linear=p * t)
+
+
+def decode_layer_flops(
+    t: int, f: int, fh: int, num_heads: int, ffn_dim: int, new_positions: int = 1
+) -> int:
+    """Matmul FLOPs of one cached transformer layer step (all heads + FFN)."""
+    p = new_positions
+    per_head = decode_gamma_cached(t, f, fh, new_positions=p).matmul
+    out_proj = p * (num_heads * fh) * f
+    return num_heads * per_head + out_proj + ffn_flops(p, f, ffn_dim)
+
+
+def decode_step_flops(
+    t: int,
+    num_layers: int,
+    f: int,
+    fh: int,
+    num_heads: int,
+    ffn_dim: int,
+    new_positions: int = 1,
+) -> int:
+    """Whole-stack matmul FLOPs of one cached decode step (replicated compute).
+
+    Distributed decode replicates the per-token compute on every rank (the
+    bit-identity requirement forbids splitting the P=1 reductions), so this
+    is both the single-device and the per-rank figure.
+    """
+    return num_layers * decode_layer_flops(
+        t, f, fh, num_heads, ffn_dim, new_positions=new_positions
+    )
+
+
+def decode_kv_gather_elements(t: int, num_heads: int, fh: int, k: int) -> float:
+    """Per-device per-layer KV-shard All-Gather volume for one decode step.
+
+    Each rank holds ``~t/K`` of the ``t`` cached positions and receives the
+    other ranks' K and V shards: ``2·(K-1)/K·t·H·F_H`` elements.  This is
+    the decode analogue of :func:`voltage_comm_elements` — note it scales
+    with ``H·F_H`` (the cache width) instead of activations ``N·F``, and
+    with the *cached* length, so it grows linearly over a generation.
+    """
+    if k < 1:
+        raise ValueError(f"device count must be >= 1, got {k}")
+    return 2 * (k - 1) * t * num_heads * fh / k
+
+
+def select_decode_order(t: int, f: int, fh: int, cached: bool = True) -> AttentionOrder:
+    """Order choice for a one-token decode step at total length ``t``.
+
+    With ``cached=True`` (the executed path) the materialised-K/V Eq. (3)
+    ordering is forced — the cache stores exactly the tensors Eq. (8)
+    exists to avoid.  With ``cached=False`` this is Algorithm 1 at P=1:
+    Theorem 2 picks Eq. (8) once ``t`` passes
+    :func:`decode_order_switch_length` — the optimal order *shifts* as the
+    sequence grows, which is why decode needs its own Γ variant.
+    """
+    if cached:
+        return EQ3
+    return select_order(t, 1, f, fh)
+
+
+def decode_order_switch_length(f: int, fh: int) -> float:
+    """Sequence length where Theorem 2 starts preferring Eq. (8) at P=1.
+
+    Solving ``1 - 1/N > (F-F_H)/(F·F_H)`` for N gives
+    ``N > 1 / (1 - threshold)``; inf when the threshold reaches 1 (Eq. (3)
+    then wins at every length).
+    """
+    threshold = theorem2_threshold(f, fh)
+    if threshold >= 1.0:
+        return math.inf
+    return 1.0 / (1.0 - threshold)
+
+
+__all__ += [
+    "decode_gamma_cached",
+    "decode_layer_flops",
+    "decode_step_flops",
+    "decode_kv_gather_elements",
+    "select_decode_order",
+    "decode_order_switch_length",
+]
+
+
 __all__.append("speedup_bound_naive")

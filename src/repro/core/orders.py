@@ -33,7 +33,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.complexity import EQ3, EQ8, AttentionOrder, ScoreOrder, ValueOrder
+from repro.core.complexity import (
+    EQ3,
+    EQ8,
+    AttentionOrder,
+    ScoreOrder,
+    ValueOrder,
+    select_decode_order,
+)
 from repro.tensor import functional as F
 
 __all__ = [
@@ -45,6 +52,7 @@ __all__ = [
     "attention_eq3",
     "attention_eq8",
     "attention_full",
+    "attention_decode_step",
 ]
 
 #: Large negative value used to zero out masked attention logits in float32.
@@ -391,3 +399,26 @@ def attention_full(
 ) -> np.ndarray:
     """Full-output multi-head attention (P = N) via the standard order."""
     return attention_eq3(x, 0, x.shape[0], params, causal=causal)
+
+
+def attention_decode_step(
+    x: np.ndarray,
+    params: AttentionParams,
+    order: AttentionOrder | None = None,
+) -> np.ndarray:
+    """Causal attention output for the *newest* position only — a P=1 partition.
+
+    The cache-less decode step: given the full ``(N, F)`` hidden states, it
+    computes row N-1's attention under ``order`` (auto-selected per Theorem 2
+    at P=1 when None — the choice shifts from Eq. (3) to Eq. (8) as N passes
+    :func:`repro.core.complexity.decode_order_switch_length`, because a
+    growing N makes the partition relatively ever smaller).  This is what a
+    per-token loop without a KV cache would run, and what the decode-order
+    ablation times against the cached path; the executed distributed decode
+    keeps the cache-compatible Eq. (3) ordering (see
+    :func:`~repro.core.complexity.select_decode_order`).
+    """
+    n = x.shape[0]
+    if order is None:
+        order = select_decode_order(n, x.shape[1], params.head_dim, cached=False)
+    return attention_partition(x, n - 1, n, params, order, causal=True)

@@ -37,7 +37,12 @@ from repro.engine.engine import (
     InferenceEngine,
 )
 from repro.engine.scheduler import POLICIES, Scheduler, ShedRequest
-from repro.engine.sequencer import GPT2CachedSequencer, VoltageForwardSequencer
+from repro.engine.sequencer import (
+    DecodeSession,
+    GPT2CachedSequencer,
+    VoltageDecodeSequencer,
+    VoltageForwardSequencer,
+)
 from repro.engine.slots import KVSlot, SlotPool
 
 __all__ = [
@@ -45,6 +50,7 @@ __all__ = [
     "EngineConfig",
     "EngineReport",
     "EngineStalledError",
+    "DecodeSession",
     "GPT2CachedSequencer",
     "InferenceEngine",
     "KVSlot",
@@ -53,6 +59,7 @@ __all__ = [
     "ShedRequest",
     "SlotPool",
     "VirtualClock",
+    "VoltageDecodeSequencer",
     "VoltageForwardSequencer",
     "WallClock",
 ]

@@ -35,6 +35,8 @@ redone work (counted by the engine as ``preemptions``).
 
 from __future__ import annotations
 
+import queue
+import threading
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -44,7 +46,7 @@ from repro.models.cache import layer_forward_cached
 from repro.serving.arrivals import Request
 from repro.engine.slots import KVSlot
 
-__all__ = ["GPT2CachedSequencer", "VoltageForwardSequencer"]
+__all__ = ["DecodeSession", "GPT2CachedSequencer", "VoltageDecodeSequencer", "VoltageForwardSequencer"]
 
 
 @dataclass
@@ -229,3 +231,297 @@ class VoltageForwardSequencer:
         if not state.done:
             raise ValueError(f"request {state.request.id} has not run")
         return state.output
+
+
+class DecodeSession:
+    """A resident K-rank decode service driven by per-step commands.
+
+    The engine interleaves token steps of many requests, so a one-shot
+    SPMD launch per request would pay runtime startup per token.  Instead
+    the session keeps all ``K`` ranks alive inside one long-lived
+    ``runtime.run`` call (on a background thread) and feeds them commands
+    over per-rank queues:
+
+    - ``("begin", slot, capacity)`` — allocate this rank's KV shards for
+      the slot, spans fixed over ``capacity`` (re-beginning a slot simply
+      replaces its shards, which is how preemption restarts work);
+    - ``("forward", slot, new_ids, offset)`` — run one position-sharded
+      decode step (``systems.decode.sharded_decode_step``) and reply with
+      the next token id;
+    - ``("release", slot)`` / ``("shutdown",)`` — drop state / exit.
+
+    Every rank executes every command, so collectives inside a forward
+    line up; the host asserts all ranks replied the same token — a
+    per-step distributed consistency check.  Queues are created before
+    the runtime starts, which makes them usable under ``ProcessRuntime``:
+    it forks, so pre-existing ``multiprocessing.Queue`` ends survive into
+    the children.
+    """
+
+    def __init__(self, system, runtime=None, timeout: float = 60.0):
+        from repro.cluster.process_runtime import ProcessRuntime, resolve_runtime
+
+        self.system = system
+        self.k = system.k
+        self.timeout = timeout
+        # A resident session returns worker results only at shutdown, so the
+        # process runtime's no-progress watchdog needs the session-lifetime
+        # timeout, not the per-recv default.
+        self._runtime = resolve_runtime(runtime, self.k, timeout=timeout)
+        if isinstance(self._runtime, ProcessRuntime):
+            import multiprocessing as mp
+
+            self._commands = [mp.Queue() for _ in range(self.k)]
+            self._replies = [mp.Queue() for _ in range(self.k)]
+        else:
+            self._commands = [queue.Queue() for _ in range(self.k)]
+            self._replies = [queue.Queue() for _ in range(self.k)]
+        self._thread: threading.Thread | None = None
+        self._error: BaseException | None = None
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _serve(self) -> None:
+        from repro.systems.decode import (
+            decode_layer_spans,
+            fresh_shards,
+            sharded_decode_step,
+        )
+        from repro.tensor.workspace import Workspace
+
+        system = self.system
+        commands, replies = self._commands, self._replies
+
+        def worker(ctx):
+            sessions: dict[int, tuple] = {}
+
+            def gather_kv(k_shard, v_shard):
+                return ctx.all_gather(k_shard, axis=1), ctx.all_gather(v_shard, axis=1)
+
+            while True:
+                command = commands[ctx.rank].get()
+                op = command[0]
+                try:
+                    if op == "begin":
+                        _, slot, capacity = command
+                        layer_parts = decode_layer_spans(system, capacity)
+                        sessions[slot] = (
+                            layer_parts,
+                            fresh_shards(layer_parts, ctx.rank),
+                            Workspace(),
+                        )
+                        reply = ("ok", None)
+                    elif op == "forward":
+                        _, slot, new_ids, offset = command
+                        layer_parts, shards, workspace = sessions[slot]
+                        next_id = sharded_decode_step(
+                            system.model, layer_parts, shards, ctx.rank,
+                            new_ids, offset, gather_kv, workspace=workspace,
+                        )
+                        reply = ("ok", next_id)
+                    elif op == "release":
+                        sessions.pop(command[1], None)
+                        reply = ("ok", None)
+                    elif op == "shutdown":
+                        replies[ctx.rank].put(("ok", None))
+                        return None
+                    else:
+                        raise ValueError(f"unknown session command {op!r}")
+                except Exception as exc:  # reply first so the host fails loudly
+                    replies[ctx.rank].put(("error", f"{type(exc).__name__}: {exc}"))
+                    raise
+                replies[ctx.rank].put(reply)
+
+        try:
+            self._runtime.run(worker)
+        except BaseException as exc:
+            self._error = exc
+
+    def _ensure_started(self) -> None:
+        if self._closed:
+            raise RuntimeError("decode session is closed")
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._serve, name="decode-session", daemon=True
+            )
+            self._thread.start()
+
+    def _command(self, payload: tuple):
+        """Send one command to every rank and collect every reply."""
+        self._ensure_started()
+        for rank in range(self.k):
+            self._commands[rank].put(payload)
+        values = []
+        for rank in range(self.k):
+            try:
+                status, value = self._replies[rank].get(timeout=self.timeout)
+            except queue.Empty:
+                detail = f": {self._error!r}" if self._error else ""
+                raise RuntimeError(
+                    f"decode session rank {rank} did not reply to {payload[0]!r} "
+                    f"within {self.timeout}s{detail}"
+                ) from self._error
+            if status != "ok":
+                raise RuntimeError(f"decode session rank {rank} failed: {value}")
+            values.append(value)
+        return values
+
+    # -- the command surface ---------------------------------------------------
+
+    def begin(self, slot: int, capacity: int) -> None:
+        self._command(("begin", slot, capacity))
+
+    def forward(self, slot: int, new_ids: list[int], offset: int) -> int:
+        values = self._command(("forward", slot, [int(t) for t in new_ids], int(offset)))
+        first = values[0]
+        for rank, value in enumerate(values):
+            if value != first:
+                raise AssertionError(
+                    f"rank {rank} decoded token {value} where rank 0 decoded {first}"
+                )
+        return first
+
+    def release(self, slot: int) -> None:
+        self._command(("release", slot))
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._thread is not None:
+            for rank in range(self.k):
+                self._commands[rank].put(("shutdown",))
+            self._thread.join(timeout=self.timeout)
+
+    def __enter__(self) -> "DecodeSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class VoltageDecodeSequencer:
+    """Distributed greedy decoding with a position-sharded KV cache.
+
+    The engine-facing contract matches :class:`GPT2CachedSequencer` (same
+    state machine, same prompts, same offline reference), but every
+    forward runs on ``K`` resident ranks through a :class:`DecodeSession`:
+    each rank holds only its span of each layer's K/V and reassembles the
+    full cache with lossless all-gathers, so the emitted tokens are
+    bit-identical to single-device ``generate_cached`` — interleaving and
+    preemption permute which step runs next, never what a step computes.
+
+    Slots carry no host-side KV state (``num_layers == 0``): the shard
+    caches live rank-side, keyed by slot index, and a re-``begin`` on a
+    slot replaces them (preemption restart).  Use as a context manager or
+    call :meth:`close` to shut the session down.
+    """
+
+    num_layers = 0  # KV shards live rank-side in the session, not in engine slots
+
+    def __init__(
+        self,
+        system,
+        max_new_tokens: int = 8,
+        step_cost: Callable[[int, int], float] | None = None,
+        prompt_seed: int = 0,
+        runtime=None,
+        session_timeout: float = 60.0,
+    ):
+        if max_new_tokens < 0:
+            raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        self.system = system
+        self.model = system.model
+        self.max_new_tokens = max_new_tokens
+        self.step_cost = step_cost
+        self.prompt_seed = prompt_seed
+        self.runtime = runtime
+        self.session_timeout = session_timeout
+        self._session: DecodeSession | None = None
+
+    @property
+    def slot_capacity(self) -> int:
+        return self.model.config.max_positions
+
+    def session(self) -> DecodeSession:
+        """The resident rank pool, started on first use."""
+        if self._session is None:
+            self._session = DecodeSession(
+                self.system, runtime=self.runtime, timeout=self.session_timeout
+            )
+        return self._session
+
+    def close(self) -> None:
+        if self._session is not None:
+            self._session.close()
+            self._session = None
+
+    def __enter__(self) -> "VoltageDecodeSequencer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- prompts (same derivation as GPT2CachedSequencer) ----------------------
+
+    def prompt_for(self, request: Request) -> np.ndarray:
+        rng = np.random.default_rng([self.prompt_seed, request.id])
+        n = min(request.n, self.model.config.max_positions)
+        return rng.integers(0, self.model.config.vocab_size, size=n, dtype=np.int64)
+
+    def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
+        prompt = prompt if prompt is not None else self.prompt_for(request)
+        return self.model.generate_cached(prompt, max_new_tokens=self.max_new_tokens)
+
+    # -- the state machine -----------------------------------------------------
+
+    def begin(self, request: Request, prompt: np.ndarray, slot: KVSlot) -> _DecodeState:
+        from repro.systems.decode import decode_capacity
+
+        prompt = np.asarray(prompt)
+        if prompt.ndim != 1 or prompt.size < 1:
+            raise ValueError(f"prompt must be a non-empty 1-D id array, got {prompt.shape}")
+        if prompt.size > self.model.config.max_positions:
+            raise ValueError(
+                f"prompt of {prompt.size} tokens exceeds max_positions "
+                f"{self.model.config.max_positions}"
+            )
+        capacity = decode_capacity(self.model, prompt.size, self.max_new_tokens)
+        self.session().begin(slot.index, capacity)
+        return _DecodeState(
+            request=request, slot=slot, ids=[int(t) for t in prompt], prompt_len=prompt.size
+        )
+
+    def step(self, state: _DecodeState) -> tuple[bool, float | None]:
+        if state.done:
+            raise ValueError(f"request {state.request.id} already finished")
+        max_positions = self.model.config.max_positions
+        session = self.session()
+        if not state.prefilled:
+            cost = self._cost(len(state.ids), 0)
+            state.next_id = session.forward(state.slot.index, state.ids, 0)
+            state.prefilled = True
+            if self.max_new_tokens == 0 or len(state.ids) >= max_positions:
+                state.done = True
+                session.release(state.slot.index)
+            return state.done, cost
+        state.ids.append(state.next_id)
+        state.emitted += 1
+        if state.emitted >= self.max_new_tokens or len(state.ids) >= max_positions:
+            state.done = True
+            session.release(state.slot.index)
+            return True, 0.0 if self.step_cost is not None else None
+        cost = self._cost(1, len(state.ids) - 1)
+        state.next_id = session.forward(state.slot.index, [state.ids[-1]], len(state.ids) - 1)
+        return False, cost
+
+    def _cost(self, new_positions: int, cache_len: int) -> float | None:
+        if self.step_cost is None:
+            return None
+        return self.step_cost(new_positions, cache_len)
+
+    def result(self, state: _DecodeState) -> np.ndarray:
+        if not state.done:
+            raise ValueError(f"request {state.request.id} is still decoding")
+        return np.asarray(state.ids, dtype=np.int64)

@@ -36,6 +36,10 @@ __all__ = [
     "LayerKVCache",
     "KVCache",
     "layer_forward_cached",
+    "layer_forward_cached_kv",
+    "shard_kv_cache",
+    "merge_kv_shards",
+    "shard_kv_views",
     "DecoderLayerKVCache",
     "decoder_layer_forward_cached",
 ]
@@ -171,12 +175,21 @@ class KVCache:
 def _cached_attention(
     attention,
     attn_input: np.ndarray,
-    cache: LayerKVCache,
+    extend_kv,
     offset: int,
     causal: bool,
     workspace: Workspace | None,
 ) -> np.ndarray:
-    """Core cached attention: project QKV fused, extend cache, attend.
+    """Core cached attention: project QKV fused, extend the KV state, attend.
+
+    ``extend_kv(k_new, v_new) -> (k_all, v_all)`` supplies how the new
+    positions join the cached history — ``LayerKVCache.append`` for the
+    single-device path, or a shard-append-then-all-gather closure for the
+    position-sharded distributed decode.  Everything downstream of the
+    returned ``(k_all, v_all)`` is the exact single-device op sequence, so
+    any extension strategy that reconstructs the same K/V *values* yields
+    bit-identical attention output (buffer identity/strides never change
+    matmul results).
 
     Returns the merged ``(t, H·F_H)`` attended tensor (before the output
     projection).  All large intermediates (fused QKV, score matrix, per-head
@@ -196,7 +209,7 @@ def _cached_attention(
     q = split_heads(qkv[:, :width], heads)
     k_new = split_heads(qkv[:, width : 2 * width], heads)
     v_new = split_heads(qkv[:, 2 * width :], heads)
-    k_all, v_all = cache.append(k_new, v_new)
+    k_all, v_all = extend_kv(k_new, v_new)
     total = k_all.shape[1]
 
     # math.sqrt (a weak Python float under NEP 50) keeps float32 hidden
@@ -240,13 +253,34 @@ def layer_forward_cached(
     the large per-step intermediates so a steady-state step allocates only
     its small ``(t, F)`` outputs.
     """
+    return layer_forward_cached_kv(
+        layer, x_new, cache.append, cache.length, workspace=workspace
+    )
+
+
+def layer_forward_cached_kv(
+    layer: TransformerLayer,
+    x_new: np.ndarray,
+    extend_kv,
+    offset: int,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """:func:`layer_forward_cached` with a pluggable KV-extension strategy.
+
+    ``extend_kv(k_new, v_new) -> (k_all, v_all)`` replaces the cache append;
+    ``offset`` is the number of positions already cached (globally — for a
+    position-sharded cache this is the *total* across ranks, not the local
+    shard length).  The op sequence is byte-for-byte the one
+    :func:`layer_forward_cached` runs, so any strategy whose ``(k_all,
+    v_all)`` values match the single cache's reconstructs its output
+    bit-exactly.
+    """
     if not layer.config.is_causal:
         raise ValueError("KV caching requires a causal layer")
     attention = layer.attention
-    offset = cache.length
 
     attn_input = x_new if layer.config.norm_style == "post" else layer.ln1(x_new)
-    attended = _cached_attention(attention, attn_input, cache, offset, True, workspace)
+    attended = _cached_attention(attention, attn_input, extend_kv, offset, True, workspace)
     projected = attention.output(attended)
 
     if layer.config.norm_style == "post":
@@ -254,6 +288,62 @@ def layer_forward_cached(
         return layer.ln2(y + layer.ffn(y))
     y = x_new + projected
     return y + layer.ffn(layer.ln2(y))
+
+
+# ---------------------------------------------------------------------------
+# Position shards: split / view / merge one layer's cache across ranks
+# ---------------------------------------------------------------------------
+
+
+def shard_kv_cache(cache: LayerKVCache, parts) -> list[LayerKVCache]:
+    """Split a populated cache into per-rank position shards (rows copied).
+
+    ``parts`` are :class:`~repro.core.partition.Partition` spans over the
+    cache *capacity* (they may extend past ``cache.length``; a shard owns
+    its span's intersection with the cached prefix, which can be empty).
+    Each shard is an independent :class:`LayerKVCache` pre-sized to its
+    span, so subsequent appends for positions inside the span never
+    reallocate.
+    """
+    shards: list[LayerKVCache] = []
+    for part in parts:
+        shard = LayerKVCache(capacity=part.length or None)
+        lo, hi = max(part.start, 0), min(part.stop, cache.length)
+        if hi > lo:
+            shard.append(cache.k[:, lo:hi], cache.v[:, lo:hi])
+        shards.append(shard)
+    return shards
+
+
+def shard_kv_views(
+    shard: LayerKVCache, heads: int, head_dim: int, dtype
+) -> tuple[np.ndarray, np.ndarray]:
+    """The shard's ``(H, length, F_H)`` K/V views, zero-row arrays if empty.
+
+    An empty shard (K > N leaves trailing ranks without positions; any rank
+    before its span fills) has no backing buffers yet, so its ``k``/``v``
+    properties are None — collectives need a real zero-length array of the
+    right geometry instead.
+    """
+    if shard.length == 0 or shard.k is None:
+        empty = np.empty((heads, 0, head_dim), dtype=dtype)
+        return empty, empty
+    return shard.k, shard.v
+
+
+def merge_kv_shards(shards) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenate rank shards (in rank order) back into full ``(k, v)``.
+
+    The exact inverse of :func:`shard_kv_cache` over contiguous, ordered
+    spans: concatenation is a pure row copy, so the merged arrays are
+    bit-identical to the unsharded cache's views for any dtype.
+    """
+    populated = [s for s in shards if s.length]
+    if not populated:
+        raise ValueError("cannot merge shards holding no cached positions")
+    k = np.concatenate([s.k for s in populated], axis=1)
+    v = np.concatenate([s.v for s in populated], axis=1)
+    return k, v
 
 
 class DecoderLayerKVCache:
@@ -303,7 +393,9 @@ def decoder_layer_forward_cached(
     cross_attn = layer.cross_attention
     offset = cache.self_cache.length
 
-    attended = _cached_attention(self_attn, x_new, cache.self_cache, offset, True, workspace)
+    attended = _cached_attention(
+        self_attn, x_new, cache.self_cache.append, offset, True, workspace
+    )
     y1 = layer.ln1(self_attn.output(attended) + x_new)
 
     if cache.memory_k is None:

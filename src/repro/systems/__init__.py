@@ -10,6 +10,7 @@
 from repro.systems.adaptive import AdaptiveVoltageSystem
 from repro.systems.base import InferenceResult, InferenceSystem, activation_bytes
 from repro.systems.data_parallel import BatchResult, DataParallelSystem
+from repro.systems.decode import generate_distributed, run_decode
 from repro.systems.fault_tolerant import (
     AllDevicesFailedError,
     FailureSchedule,
@@ -51,4 +52,6 @@ __all__ = [
     "TensorParallelSystem",
     "VoltageSystem",
     "activation_bytes",
+    "generate_distributed",
+    "run_decode",
 ]

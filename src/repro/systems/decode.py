@@ -1,0 +1,371 @@
+"""Distributed autoregressive decode with a position-sharded KV cache.
+
+Extends Voltage's position-partitioned execution (paper Algorithm 2) from a
+single forward pass to greedy generation.  The protocol keeps the paper's
+data layout — every device owns a contiguous span of sequence positions —
+but flips what is *partitioned*:
+
+* **Compute is replicated.** Every rank runs the identical per-token step
+  (embeddings, fused QKV, attention, FFN, LM head).  A single new token is
+  one row of GEMM work; splitting it would change operand shapes and break
+  the bitwise-conformance argument that lets ``repro.verify`` compare
+  distributed decode against ``GPT2Model.generate_cached`` with
+  ``np.array_equal`` rather than a tolerance.
+* **KV storage is sharded.** Each rank's ``LayerKVCache`` holds only the
+  rows of K/V whose positions fall inside its span, so per-rank cache
+  memory drops to O(L·T/K).  Spans are fixed per request from
+  ``scheme_for(capacity, layer)`` over the request's full capacity
+  (``min(prompt + max_new, max_positions)``) so a row's owner never moves
+  as the sequence grows.
+* **Assembly is a lossless all-gather.** Before attention each rank
+  gathers every peer's K/V shard rows and concatenates them in rank order,
+  reconstructing exactly the array a single-device cache would hold —
+  shard spans partition ``[0, capacity)`` contiguously in rank order, so
+  clipping each span to the filled prefix ``[0, total)`` and concatenating
+  gives ``[0, total)`` bit-exactly.  K/V rows always cross the wire in
+  their native dtype regardless of the system's lossy activation
+  ``wire_dtype``: a rounded cache row would be re-read on every subsequent
+  step and the error would compound, so the decode path never applies the
+  forward pass's lossy wire encoding (INTERNALS §13).
+
+Two execution surfaces share the step kernel:
+
+* :func:`generate_distributed` — one-shot SPMD run over a real runtime
+  (``ThreadedRuntime`` or ``ProcessRuntime``): every rank decodes the full
+  sequence, gathering shards with ``ctx.all_gather``; the host asserts all
+  ranks emitted identical tokens.
+* :func:`run_decode` — host-side emulation of the same shard/merge
+  protocol plus a simulated per-token latency timeline built from the
+  decode-phase Γ model (``core.complexity.decode_step_flops``), mirrored
+  analytically by ``bench.analytic.voltage_decode_latency``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cluster.runtime import WorkerContext
+from repro.cluster.timeline import LatencyBreakdown
+from repro.core.complexity import (
+    decode_kv_gather_elements,
+    decode_step_flops,
+    select_decode_order,
+    select_order,
+)
+from repro.core.partition import Partition
+from repro.models.cache import (
+    LayerKVCache,
+    layer_forward_cached_kv,
+    merge_kv_shards,
+    shard_kv_views,
+)
+from repro.tensor.workspace import Workspace
+from repro.systems.base import InferenceResult
+
+__all__ = [
+    "decode_capacity",
+    "decode_layer_spans",
+    "decode_step_totals",
+    "generate_distributed",
+    "run_decode",
+    "sharded_decode_step",
+]
+
+# Token ids travel as int64 (the dtype generate_cached emits); K/V rows
+# travel in the model's float32 compute dtype.  Neither is subject to the
+# lossy activation wire_dtype — cache rows are re-read every step, so any
+# rounding would compound across the whole generation.
+_ID_ITEMSIZE = 8
+_KV_ITEMSIZE = 4
+
+
+def decode_capacity(model, prompt_len: int, max_new_tokens: int) -> int:
+    """Cache capacity for a request — mirrors ``generate_cached`` exactly."""
+    if prompt_len < 1:
+        raise ValueError(f"prompt must hold at least one token, got {prompt_len}")
+    if max_new_tokens < 0:
+        raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+    return min(prompt_len + max_new_tokens, model.config.max_positions)
+
+
+def decode_layer_spans(system, capacity: int) -> list[list[Partition]]:
+    """Per-layer, per-rank position spans, fixed for the request's lifetime.
+
+    Spans are drawn over the *capacity* (not the current length) so the
+    owner of any position is a pure function of the request shape: rows
+    never migrate between ranks as the sequence grows.
+    """
+    return [
+        system.scheme_for(capacity, layer=index).positions(capacity)
+        for index in range(system.model.num_layers)
+    ]
+
+
+def _shard_extend(
+    part: Partition,
+    shard: LayerKVCache,
+    offset: int,
+    heads: int,
+    head_dim: int,
+    gather_kv: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
+):
+    """Build the ``extend_kv`` hook for one rank's shard of one layer.
+
+    Appends the slice of the new rows that falls inside this rank's span
+    (possibly none), then gathers every rank's shard view and returns the
+    rank-order concatenation — value-identical to a full single-device
+    cache append followed by a read.
+    """
+
+    def extend(k_new: np.ndarray, v_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        added = k_new.shape[1]
+        lo = max(part.start, offset)
+        hi = min(part.stop, offset + added)
+        if hi > lo:
+            shard.append(
+                k_new[:, lo - offset : hi - offset], v_new[:, lo - offset : hi - offset]
+            )
+        k_shard, v_shard = shard_kv_views(shard, heads, head_dim, k_new.dtype)
+        return gather_kv(k_shard, v_shard)
+
+    return extend
+
+
+def sharded_decode_step(
+    model,
+    layer_parts: Sequence[Sequence[Partition]],
+    shards: Sequence[LayerKVCache],
+    rank: int,
+    new_ids: Sequence[int],
+    offset: int,
+    gather_kv: Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]],
+    workspace: Workspace | None = None,
+) -> int:
+    """One rank's view of one decode step; op-for-op ``generate_cached``'s.
+
+    ``shards[i]`` is this rank's KV shard for layer ``i``; ``gather_kv``
+    assembles the full K/V from every rank's shard (a collective when run
+    under a runtime, a host-side merge in emulation).
+    """
+    positions = np.arange(offset, offset + len(new_ids))
+    x = model.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+    x = x + model.embeddings.position(positions)
+    heads = model.config.num_heads
+    head_dim = model.config.head_dim
+    for index, layer in enumerate(model.layers):
+        extend = _shard_extend(
+            layer_parts[index][rank], shards[index], offset, heads, head_dim, gather_kv
+        )
+        x = layer_forward_cached_kv(layer, x, extend, offset, workspace=workspace)
+    logits = model.ln_f(x[-1]) @ model.embeddings.word.weight.data.T
+    return int(np.argmax(logits))
+
+
+def greedy_loop(
+    model, step: Callable[[list[int], int], int], ids: list[int], max_new_tokens: int
+) -> list[int]:
+    """The exact control flow of ``generate_cached``'s greedy loop."""
+    max_positions = model.config.max_positions
+    next_id = step(ids, 0)
+    for _ in range(max_new_tokens):
+        if len(ids) >= max_positions:
+            break
+        ids.append(next_id)
+        if len(ids) >= max_positions:
+            break
+        next_id = step([ids[-1]], len(ids) - 1)
+    return ids
+
+
+def fresh_shards(layer_parts: Sequence[Sequence[Partition]], rank: int) -> list[LayerKVCache]:
+    """One empty KV shard per layer, sized to this rank's span."""
+    return [LayerKVCache(capacity=parts[rank].length or None) for parts in layer_parts]
+
+
+def generate_distributed(
+    system, prompt_ids, max_new_tokens: int = 8, runtime=None, timeout=None
+):
+    """Greedy decode on ``K`` ranks with position-sharded KV storage.
+
+    Every rank runs the replicated token loop, holding only its span of
+    each layer's K/V and reassembling the full cache with two lossless
+    ``all_gather`` calls per layer per step.  Returns ``(ids, stats)``
+    where ``ids`` is bit-identical to ``model.generate_cached(prompt_ids,
+    max_new_tokens)`` and ``stats`` is the per-rank ``CommStats`` list.
+    """
+    from repro.cluster.process_runtime import resolve_runtime
+
+    model = system.model
+    ids0 = [int(token) for token in np.asarray(prompt_ids)]
+    capacity = decode_capacity(model, len(ids0), max_new_tokens)
+    layer_parts = decode_layer_spans(system, capacity)
+
+    def worker(ctx: WorkerContext) -> np.ndarray:
+        shards = fresh_shards(layer_parts, ctx.rank)
+        workspace = Workspace()
+
+        def gather_kv(k_shard, v_shard):
+            return ctx.all_gather(k_shard, axis=1), ctx.all_gather(v_shard, axis=1)
+
+        def step(new_ids, offset):
+            return sharded_decode_step(
+                model, layer_parts, shards, ctx.rank, new_ids, offset, gather_kv,
+                workspace=workspace,
+            )
+
+        ids = greedy_loop(model, step, list(ids0), max_new_tokens)
+        return np.asarray(ids, dtype=np.int64)
+
+    results, stats = resolve_runtime(runtime, system.k, timeout=timeout).run(worker)
+    for rank in range(1, system.k):
+        np.testing.assert_array_equal(
+            results[rank], results[0],
+            err_msg=f"rank {rank} decoded a different sequence than rank 0",
+        )
+    return results[0], stats
+
+
+def run_decode(system, prompt_ids, max_new_tokens: int = 8) -> InferenceResult:
+    """Host-emulated sharded decode with a simulated per-token timeline.
+
+    Runs the identical shard/append/merge protocol as
+    :func:`generate_distributed` (one ``LayerKVCache`` shard per rank per
+    layer, rank-order concatenation before attention) in a single process,
+    and prices each step with the decode-phase Γ model: a replicated
+    compute makespan of ``decode_step_flops`` plus the LM head, and two
+    lossless shard all-gathers per layer.  The phase sequence is mirrored
+    exactly by ``bench.analytic.voltage_decode_latency``.
+    """
+    model = system.model
+    config = model.config
+    sim = system.sim
+    k = system.k
+    ids0 = [int(token) for token in np.asarray(prompt_ids)]
+    capacity = decode_capacity(model, len(ids0), max_new_tokens)
+    layer_parts = decode_layer_spans(system, capacity)
+    rank_shards = [
+        [LayerKVCache(capacity=part.length or None) for part in parts]
+        for parts in layer_parts
+    ]
+    workspace = Workspace()
+
+    latency = LatencyBreakdown()
+    latency.add("broadcast prompt", "comm", sim.broadcast(_ID_ITEMSIZE * len(ids0)))
+
+    per_token_seconds: list[float] = []
+    uncached_orders: list[str] = []
+    gather_bytes_per_device = 0
+
+    def account_step(added: int, total: int) -> None:
+        nonlocal gather_bytes_per_device
+        flops = decode_step_flops(
+            total,
+            model.num_layers,
+            config.hidden_size,
+            config.head_dim,
+            config.num_heads,
+            config.ffn_dim,
+            new_positions=added,
+        ) + model.postprocess_flops(total)
+        compute_s = sim.compute_makespan([flops] * k)
+        comm_s = 0.0
+        for parts in layer_parts:
+            chunk_bytes = [
+                config.num_heads
+                * max(0, min(part.stop, total) - max(part.start, 0))
+                * config.head_dim
+                * _KV_ITEMSIZE
+                for part in parts
+            ]
+            comm_s += sim.all_gather(chunk_bytes)  # K shard rows
+            comm_s += sim.all_gather(chunk_bytes)  # V shard rows
+            gather_bytes_per_device += 2 * (sum(chunk_bytes) - max(chunk_bytes))
+        step_index = len(per_token_seconds)
+        latency.add("decode step compute", "compute", compute_s, layer=step_index)
+        latency.add("kv shard all-gather", "comm", comm_s, layer=step_index)
+        per_token_seconds.append(compute_s + comm_s)
+        if added == total:
+            order = select_order(total, added, config.hidden_size, config.head_dim)
+        else:
+            order = select_decode_order(
+                total, config.hidden_size, config.head_dim, cached=False
+            )
+        uncached_orders.append("eq8" if order.is_reordered else "eq3")
+
+    def step(new_ids, offset):
+        added = len(new_ids)
+        total = offset + added
+        positions = np.arange(offset, offset + added)
+        x = model.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+        x = x + model.embeddings.position(positions)
+        for index, layer in enumerate(model.layers):
+            parts = layer_parts[index]
+            shards = rank_shards[index]
+
+            # The emulation appends to the owning rank's shard for each
+            # layer, then merges every shard in rank order — the same
+            # values every rank would assemble from a real all-gather.
+            def extend(k_new, v_new, parts=parts, shards=shards):
+                rows = k_new.shape[1]
+                for part, shard in zip(parts, shards):
+                    lo = max(part.start, offset)
+                    hi = min(part.stop, offset + rows)
+                    if hi > lo:
+                        shard.append(
+                            k_new[:, lo - offset : hi - offset],
+                            v_new[:, lo - offset : hi - offset],
+                        )
+                return merge_kv_shards(shards)
+
+            x = layer_forward_cached_kv(layer, x, extend, offset, workspace=workspace)
+        logits = model.ln_f(x[-1]) @ model.embeddings.word.weight.data.T
+        account_step(added, total)
+        return int(np.argmax(logits))
+
+    ids = greedy_loop(model, step, list(ids0), max_new_tokens)
+    output = np.asarray(ids, dtype=np.int64)
+    latency.add(
+        "gather output to terminal", "comm", sim.point_to_point(_ID_ITEMSIZE * len(ids))
+    )
+
+    analytic_elements = model.num_layers * sum(
+        decode_kv_gather_elements(total, config.num_heads, config.head_dim, k)
+        for total in decode_step_totals(len(ids0), max_new_tokens, config.max_positions)
+    )
+    meta = {
+        "system": "voltage-decode",
+        "devices": k,
+        "prompt_tokens": len(ids0),
+        "tokens": len(ids),
+        "capacity": capacity,
+        "steps": len(per_token_seconds),
+        "per_token_seconds": per_token_seconds,
+        "kv_gather_bytes_per_device": int(gather_bytes_per_device),
+        "kv_gather_elements_analytic": analytic_elements,
+        "cached_order": "eq3",
+        "uncached_orders": uncached_orders,
+        "shard_spans": [[part.start, part.stop] for part in layer_parts[0]],
+    }
+    return InferenceResult(output=output, latency=latency, meta=meta)
+
+
+def decode_step_totals(prompt_len: int, max_new_tokens: int, max_positions: int) -> list[int]:
+    """Sequence lengths seen by each decode step — deterministic in shapes.
+
+    Replays ``generate_cached``'s control flow over lengths only: the
+    prefill step sees ``prompt_len`` rows; each later step sees one row at
+    the post-append length, stopping early at ``max_positions`` exactly
+    where the real loop does.
+    """
+    totals = [prompt_len]
+    length = prompt_len
+    for _ in range(max_new_tokens):
+        if length >= max_positions:
+            break
+        length += 1
+        if length >= max_positions:
+            break
+        totals.append(length)
+    return totals

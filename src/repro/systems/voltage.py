@@ -127,6 +127,22 @@ class VoltageSystem(InferenceSystem):
             return PartitionScheme.even(self.k)
         raise ValueError(f"unsupported scheme specifier {self._scheme!r}")
 
+    # -- distributed autoregressive decode (position-sharded KV cache) ---------
+
+    def generate_distributed(self, prompt_ids, max_new_tokens: int = 8, runtime=None, timeout=None):
+        """Greedy decode on ``K`` ranks; see :mod:`repro.systems.decode`."""
+        from repro.systems.decode import generate_distributed
+
+        return generate_distributed(
+            self, prompt_ids, max_new_tokens=max_new_tokens, runtime=runtime, timeout=timeout
+        )
+
+    def run_decode(self, prompt_ids, max_new_tokens: int = 8):
+        """Host-emulated sharded decode with a simulated per-token timeline."""
+        from repro.systems.decode import run_decode
+
+        return run_decode(self, prompt_ids, max_new_tokens=max_new_tokens)
+
     # -- host-emulated execution with simulated latency ------------------------
 
     def _hideable_seconds(self, n: int, f: int, next_executor, next_parts) -> float:

@@ -107,12 +107,15 @@ def run_verification(
     voltage_factory=default_voltage_factory,
     max_shrink_attempts: int = 60,
     force_runtime: str | None = None,
+    force_decode: bool = False,
 ) -> VerifyReport:
     """Fuzz ``num_seeds`` scenarios; shrink whatever fails.
 
     ``force_runtime`` pins every sampled scenario's ``runtime`` axis (e.g.
     ``"process"`` for a process-runtime conformance lane) instead of letting
-    the seed draw it.
+    the seed draw it.  ``force_decode`` pins every scenario to a gpt2 decode
+    scenario (1-4 token steps, derived from the seed) — the decode
+    conformance lane.
     """
     if num_seeds < 1:
         raise ValueError(f"need at least one seed, got {num_seeds}")
@@ -124,6 +127,11 @@ def run_verification(
             config = sample_scenario(seed)
             if force_runtime is not None:
                 config = config.replaced(runtime=force_runtime)
+            if force_decode:
+                config = config.replaced(
+                    family="gpt2",
+                    decode_steps=config.decode_steps or (seed % 4) + 1,
+                )
             scenario_started = time.perf_counter()
             result = run_scenario(config, voltage_factory=voltage_factory)
             registry.histogram("verify.scenario_seconds").observe(

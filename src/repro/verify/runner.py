@@ -295,7 +295,74 @@ def run_scenario(
             )
         )
 
-        # 5. tensor parallelism: run + threaded (always float32 wire)
+        # 5. distributed decode (gpt2 scenarios): the token loop with a
+        # position-sharded KV cache must emit bit-identical sequences to
+        # single-device generate_cached, on every backend
+        if config.decode_steps:
+            decode_ref = model.generate_cached(raw, max_new_tokens=config.decode_steps)
+            drun = voltage.run_decode(raw, max_new_tokens=config.decode_steps)
+            checks.append(
+                Check(
+                    "decode_run_vs_generate_cached",
+                    passed=bool(np.array_equal(drun.output, decode_ref)),
+                    detail="host-emulated sharded decode vs generate_cached (must be bit-identical)",
+                )
+            )
+            dist_ids, _ = voltage.generate_distributed(
+                raw, max_new_tokens=config.decode_steps
+            )
+            checks.append(
+                Check(
+                    "decode_distributed_vs_generate_cached",
+                    passed=bool(np.array_equal(dist_ids, decode_ref)),
+                    detail="threaded sharded decode vs generate_cached (must be bit-identical)",
+                )
+            )
+            if config.runtime == "process":
+                proc_ids, _ = voltage.generate_distributed(
+                    raw, max_new_tokens=config.decode_steps, runtime="process"
+                )
+                checks.append(
+                    Check(
+                        "decode_process_vs_threaded",
+                        passed=bool(np.array_equal(proc_ids, dist_ids)),
+                        detail="ProcessRuntime vs ThreadedRuntime decode (must be bit-identical)",
+                    )
+                )
+            capacity = min(
+                n + config.decode_steps, model.config.max_positions
+            )
+            decode_scheme = _static_scheme(voltage, config, capacity)
+            if decode_scheme is None:
+                checks.append(
+                    Check(
+                        "decode_analytic_vs_sim",
+                        passed=True,
+                        skipped=True,
+                        detail="per-layer LayerSchedule has no analytic mirror",
+                    )
+                )
+            else:
+                decode_modelled = analytic.voltage_decode_latency(
+                    model.config, n, config.decode_steps, cluster, scheme=decode_scheme
+                )
+                agree, detail = _timelines_agree(decode_modelled, drun.latency)
+                checks.append(Check("decode_analytic_vs_sim", passed=agree, detail=detail))
+            expected_kv_bytes = _expected_decode_gather_bytes(
+                voltage, n, config.decode_steps
+            )
+            reported_kv = drun.meta.get("kv_gather_bytes_per_device", float("nan"))
+            checks.append(
+                Check(
+                    "decode_comm_volume",
+                    passed=math.isclose(
+                        reported_kv, expected_kv_bytes, rel_tol=1e-12, abs_tol=1e-9
+                    ),
+                    detail=f"meta {reported_kv!r} vs span-implied {expected_kv_bytes!r}",
+                )
+            )
+
+        # 6. tensor parallelism: run + threaded (always float32 wire)
         tp = TensorParallelSystem(model, cluster)
         tp_run = tp.run(raw)
         checks.append(
@@ -326,7 +393,7 @@ def run_scenario(
                 )
             )
 
-        # 6. pipeline parallelism applies the same layers sequentially
+        # 7. pipeline parallelism applies the same layers sequentially
         pipeline = PipelineParallelSystem(model, cluster).run(raw)
         checks.append(
             Check(
@@ -336,7 +403,7 @@ def run_scenario(
             )
         )
 
-        # 7. failure injection: survivors must still produce the answer
+        # 8. failure injection: survivors must still produce the answer
         if config.failures:
             schedule = FailureSchedule(dict(config.failures))
             ft = FaultTolerantVoltageSystem(model, cluster, failures=schedule)
@@ -362,6 +429,32 @@ def run_scenario(
     except Exception as exc:  # noqa: BLE001 - a crash is itself a finding
         result.error = f"{type(exc).__name__}: {exc}"
     return result
+
+
+def _expected_decode_gather_bytes(
+    voltage: VoltageSystem, prompt_len: int, max_new_tokens: int
+) -> int:
+    """Per-device KV-gather traffic the decode spans imply (lossless float32).
+
+    Mirrors ``run_decode``'s accounting from the span geometry alone: for
+    every step, every layer contributes two shard all-gathers whose chunks
+    are the spans clipped to the filled prefix.
+    """
+    from repro.systems.decode import decode_layer_spans, decode_step_totals
+
+    config = voltage.model.config
+    capacity = min(prompt_len + max_new_tokens, config.max_positions)
+    spans = decode_layer_spans(voltage, capacity)
+    row_bytes = config.num_heads * config.head_dim * 4
+    total = 0
+    for filled in decode_step_totals(prompt_len, max_new_tokens, config.max_positions):
+        for parts in spans:
+            chunks = [
+                max(0, min(part.stop, filled) - max(part.start, 0)) * row_bytes
+                for part in parts
+            ]
+            total += 2 * (sum(chunks) - max(chunks))
+    return total
 
 
 def _static_scheme(

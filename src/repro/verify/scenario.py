@@ -59,6 +59,7 @@ class ScenarioConfig:
     patch_size: int = 8
     overlap: bool = False  # stream ring chunks into next-layer compute
     runtime: str = "threaded"  # worker backend: threads or OS processes
+    decode_steps: int = 0  # gpt2 only: also verify distributed greedy decode
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -80,6 +81,10 @@ class ScenarioConfig:
         for device, layer in self.failures:
             if not (0 <= device < self.devices) or not (0 <= layer < self.num_layers):
                 raise ValueError(f"failure ({device}, {layer}) outside the deployment")
+        if self.decode_steps < 0:
+            raise ValueError(f"decode_steps must be >= 0, got {self.decode_steps}")
+        if self.decode_steps and self.family != "gpt2":
+            raise ValueError("decode scenarios require the gpt2 family")
 
     @property
     def hidden_size(self) -> int:
@@ -97,6 +102,8 @@ class ScenarioConfig:
             extras.append("overlap")
         if self.runtime != "threaded":
             extras.append(self.runtime)
+        if self.decode_steps:
+            extras.append(f"decode={self.decode_steps}")
         tail = (" " + " ".join(extras)) if extras else ""
         return (
             f"seed={self.seed} {self.family} L={self.num_layers} F={self.hidden_size} "
@@ -129,6 +136,7 @@ class ScenarioConfig:
             "patch_size": self.patch_size,
             "overlap": self.overlap,
             "runtime": self.runtime,
+            "decode_steps": self.decode_steps,
         }
 
     @classmethod
@@ -193,6 +201,12 @@ def sample_scenario(seed: int) -> ScenarioConfig:
     # runtime drawn after overlap for the same reason; process scenarios are
     # the minority draw (each forks real OS processes, so they cost more)
     runtime = "process" if rng.random() < 0.2 else "threaded"
+    # decode drawn last of all: gpt2 scenarios sometimes also run the token
+    # loop distributed (position-sharded KV) and check it against
+    # generate_cached — introducing the axis must not disturb older seeds
+    decode_steps = 0
+    if family == "gpt2" and rng.random() < 0.5:
+        decode_steps = int(rng.integers(1, 5))
 
     return ScenarioConfig(
         seed=seed,
@@ -214,6 +228,7 @@ def sample_scenario(seed: int) -> ScenarioConfig:
         patch_size=patch_size,
         overlap=overlap,
         runtime=runtime,
+        decode_steps=decode_steps,
     )
 
 

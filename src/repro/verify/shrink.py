@@ -43,6 +43,7 @@ def config_cost(config: ScenarioConfig) -> float:
         cost += 10
     if config.runtime != "threaded":
         cost += 10  # a process fleet is heavier to replay than threads
+    cost += config.decode_steps * 20  # each decode step replays the token loop
     return float(cost)
 
 
@@ -131,6 +132,14 @@ def _candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
         c = emit(_fixup(config, runtime="threaded"))
         if c:
             yield c
+    if config.decode_steps:
+        # forward-only first (the decode machinery drops out entirely),
+        # then a single decode step if the bug needs the token loop
+        for steps in (0, 1):
+            if steps < config.decode_steps:
+                c = emit(_fixup(config, decode_steps=steps))
+                if c:
+                    yield c
     if (config.num_heads, config.head_dim) != (2, 4):
         c = emit(_fixup(config, num_heads=2, head_dim=4, ffn_dim=16))
         if c:

@@ -1,0 +1,132 @@
+"""Property tests for position-shard invariants (``repro.systems.decode``).
+
+Distributed decode is only bit-identical to ``generate_cached`` if the
+shard geometry is airtight: per-rank spans must be disjoint, contiguous
+and cover ``[0, N)`` for *any* device count and speed ratio (including
+K=1 and K>N, where some ranks own zero positions), and concatenating the
+rank shards in order must reconstruct the full-cache K/V byte-for-byte in
+every cache dtype the wire can carry.  These are the invariants the
+all-gather reassembly in ``sharded_decode_step`` silently relies on.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.partition import PartitionScheme
+from repro.models.cache import (
+    LayerKVCache,
+    merge_kv_shards,
+    shard_kv_cache,
+    shard_kv_views,
+)
+
+CACHE_DTYPES = ["float32", "float16", "int8"]
+
+
+@st.composite
+def span_cases(draw):
+    """A capacity, a device count (possibly > capacity), and speed ratios."""
+    capacity = draw(st.integers(min_value=1, max_value=64))
+    devices = draw(st.integers(min_value=1, max_value=8))
+    if draw(st.booleans()):
+        ratios = tuple(1.0 for _ in range(devices))
+    else:
+        ratios = tuple(
+            float(draw(st.integers(min_value=1, max_value=16))) for _ in range(devices)
+        )
+    return capacity, devices, ratios
+
+
+@settings(max_examples=200, deadline=None)
+@given(span_cases())
+def test_spans_disjoint_contiguous_and_cover(case):
+    capacity, devices, ratios = case
+    scheme = PartitionScheme.proportional(ratios)
+    parts = scheme.positions(capacity)
+    assert len(parts) == devices
+    cursor = 0
+    for part in parts:
+        assert part.start == cursor, "spans must be contiguous in rank order"
+        assert part.stop >= part.start
+        cursor = part.stop
+    assert cursor == capacity, "spans must cover [0, capacity) exactly"
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    case=span_cases(),
+    dtype=st.sampled_from(CACHE_DTYPES),
+    filled_ratio=st.floats(min_value=0.0, max_value=1.0),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_shard_merge_round_trip_bit_exact(case, dtype, filled_ratio, seed):
+    """shard → merge reconstructs the full K/V byte-for-byte, any dtype."""
+    capacity, devices, ratios = case
+    filled = max(1, int(round(filled_ratio * capacity)))
+    heads, head_dim = 2, 4
+    rng = np.random.default_rng(seed)
+    if dtype == "int8":
+        k = rng.integers(-128, 128, size=(heads, filled, head_dim)).astype(np.int8)
+        v = rng.integers(-128, 128, size=(heads, filled, head_dim)).astype(np.int8)
+    else:
+        k = rng.normal(size=(heads, filled, head_dim)).astype(dtype)
+        v = rng.normal(size=(heads, filled, head_dim)).astype(dtype)
+
+    full = LayerKVCache(capacity=capacity)
+    full.append(k, v)
+
+    parts = PartitionScheme.proportional(ratios).positions(capacity)
+    shards = shard_kv_cache(full, parts)
+    assert len(shards) == devices
+    for part, shard in zip(parts, shards):
+        expected = max(0, min(part.stop, filled) - max(part.start, 0))
+        assert shard.length == expected
+
+    merged_k, merged_v = merge_kv_shards(shards)
+    assert merged_k.dtype == k.dtype and merged_v.dtype == v.dtype
+    np.testing.assert_array_equal(merged_k, k)
+    np.testing.assert_array_equal(merged_v, v)
+    assert merged_k.tobytes() == k.tobytes()
+    assert merged_v.tobytes() == v.tobytes()
+
+
+@settings(max_examples=60, deadline=None)
+@given(case=span_cases(), dtype=st.sampled_from(CACHE_DTYPES))
+def test_empty_shard_views_have_gatherable_geometry(case, dtype):
+    """Ranks owning no filled positions still expose (H, 0, F_H) views so a
+    collective concatenation over axis 1 stays shape-correct."""
+    capacity, devices, ratios = case
+    heads, head_dim = 2, 4
+    parts = PartitionScheme.proportional(ratios).positions(capacity)
+    np_dtype = np.dtype(dtype)
+    for part in parts:
+        shard = LayerKVCache(capacity=part.length or None)
+        k_view, v_view = shard_kv_views(shard, heads, head_dim, np_dtype)
+        assert k_view.shape == (heads, 0, head_dim)
+        assert v_view.shape == (heads, 0, head_dim)
+        assert k_view.dtype == np_dtype and v_view.dtype == np_dtype
+
+
+def test_merge_requires_some_positions():
+    with pytest.raises(ValueError):
+        merge_kv_shards([LayerKVCache(), LayerKVCache()])
+
+
+def test_k_greater_than_n_degenerate():
+    """More devices than positions: trailing ranks own empty spans and the
+    round trip still reconstructs exactly."""
+    heads, head_dim, filled = 2, 4, 3
+    rng = np.random.default_rng(0)
+    k = rng.normal(size=(heads, filled, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, filled, head_dim)).astype(np.float32)
+    full = LayerKVCache()
+    full.append(k, v)
+    parts = PartitionScheme.even(8).positions(filled)
+    assert sum(p.length for p in parts) == filled
+    shards = shard_kv_cache(full, parts)
+    assert sum(s.length for s in shards) == filled
+    merged_k, merged_v = merge_kv_shards(shards)
+    np.testing.assert_array_equal(merged_k, k)
+    np.testing.assert_array_equal(merged_v, v)
