@@ -194,27 +194,35 @@ def voltage_decode_latency(
     max_new_tokens: int,
     cluster: ClusterSpec,
     scheme: PartitionScheme | None = None,
+    attention: str = "gathered",
+    stats_itemsize: int = 4,
 ) -> LatencyBreakdown:
     """Mirror of :func:`repro.systems.decode.run_decode`'s timeline.
 
-    Prices greedy generation with a position-sharded KV cache: every step
-    is a replicated compute makespan of the decode-phase Γ model
-    (``decode_step_flops`` plus the tied LM head) followed by two lossless
-    K/V shard all-gathers per layer.  Spans are fixed over the request's
-    full capacity, so each step's chunk sizes are the spans clipped to the
-    filled prefix.  Phase names, kinds and step structure match
-    ``run_decode`` exactly — the verify harness compares the two
-    phase-by-phase.
+    Prices greedy generation with a position-sharded KV cache through the
+    same per-step pricer ``run_decode`` uses
+    (:func:`repro.systems.decode.decode_step_pricing`, driven by the
+    ``core.complexity`` decode cost table), so the two timelines share one
+    formula source.  ``attention`` selects the mode: ``"gathered"`` pays a
+    replicated compute makespan plus two lossless K/V shard all-gathers
+    per layer; ``"distributed"`` pays per-rank local-shard attention plus
+    one packed-stats all-gather per layer (``stats_itemsize=2`` for a
+    float16 wire).  Spans are fixed over the request's full capacity, so
+    each step's chunk sizes are the spans clipped to the filled prefix.
+    Phase names, kinds and step structure match ``run_decode`` exactly —
+    the verify harness compares the two phase-by-phase.
     """
-    from repro.systems.decode import decode_step_totals
+    from repro.systems.decode import decode_step_pricing, decode_step_totals
 
     sim = ClusterSim(cluster)
     k = cluster.num_devices
     scheme = scheme if scheme is not None else PartitionScheme.even(k)
     capacity = min(prompt_len + max_new_tokens, config.max_positions)
-    parts = scheme.positions(capacity)
+    layer_parts = [scheme.positions(capacity)] * config.num_layers
     post_flops = config.hidden_size * config.vocab_size  # tied LM head
-    kv_itemsize = 4  # K/V rows cross the wire lossless in float32
+    comm_phase = (
+        "kv shard all-gather" if attention == "gathered" else "combine stats all-gather"
+    )
 
     latency = LatencyBreakdown()
     latency.add("broadcast prompt", "comm", sim.broadcast(8 * prompt_len))
@@ -222,29 +230,17 @@ def voltage_decode_latency(
     totals = decode_step_totals(prompt_len, max_new_tokens, config.max_positions)
     for step_index, total in enumerate(totals):
         added = prompt_len if step_index == 0 else 1
-        flops = complexity.decode_step_flops(
-            total,
-            config.num_layers,
-            config.hidden_size,
-            config.head_dim,
-            config.num_heads,
-            config.ffn_dim,
-            new_positions=added,
-        ) + post_flops
-        compute_s = sim.compute_makespan([flops] * k)
+        per_rank_flops, layer_collectives, _ = decode_step_pricing(
+            config, layer_parts, added, total,
+            attention=attention, stats_itemsize=stats_itemsize,
+        )
+        compute_s = sim.compute_makespan([flops + post_flops for flops in per_rank_flops])
         comm_s = 0.0
-        for _ in range(config.num_layers):
-            chunk_bytes = [
-                config.num_heads
-                * max(0, min(part.stop, total) - max(part.start, 0))
-                * config.head_dim
-                * kv_itemsize
-                for part in parts
-            ]
-            comm_s += sim.all_gather(chunk_bytes)  # K shard rows
-            comm_s += sim.all_gather(chunk_bytes)  # V shard rows
+        for collectives in layer_collectives:
+            for chunk_bytes in collectives:
+                comm_s += sim.all_gather(chunk_bytes)
         latency.add("decode step compute", "compute", compute_s, layer=step_index)
-        latency.add("kv shard all-gather", "comm", comm_s, layer=step_index)
+        latency.add(comm_phase, "comm", comm_s, layer=step_index)
 
     final_len = prompt_len if prompt_len >= config.max_positions else min(
         prompt_len + max_new_tokens, config.max_positions

@@ -124,6 +124,7 @@ def _run_verify(args) -> int:
         shrink=not args.no_shrink,
         force_runtime=args.runtime,
         force_decode=args.decode,
+        force_decode_attention=args.decode_attention,
     )
     print(report.summary())
     if args.json is not None:
@@ -257,6 +258,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--decode", action="store_true",
                         help="verify: pin every scenario to a gpt2 distributed-decode "
                              "scenario (the decode conformance lane)")
+    parser.add_argument("--decode-attention", choices=["gathered", "distributed"],
+                        default=None,
+                        help="verify: pin the decode attention mode on every decoding "
+                             "scenario (default: let each seed draw it)")
     parser.add_argument("--quick", action="store_true",
                         help="perf/serve: smaller workloads for the CI smoke lane")
     parser.add_argument("--check", action="store_true",
@@ -301,6 +306,7 @@ def main(argv: list[str] | None = None) -> int:
             _emit(figures.efficient_attention_comm_table(), args.json)
             _emit(figures.ablation_comm_precision(), args.json)
             _emit(figures.ablation_overlap(), args.json)
+            _emit(figures.ablation_decode_attention(), args.json)
         if args.target in ("serving", "all"):
             _emit(figures.serving_tail_latency(), args.json)
         if args.target == "profile":

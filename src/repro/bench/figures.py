@@ -42,6 +42,7 @@ __all__ = [
     "serving_tail_latency",
     "ablation_comm_precision",
     "ablation_overlap",
+    "ablation_decode_attention",
     "memory_tradeoff_table",
     "headline_summary",
 ]
@@ -513,6 +514,58 @@ def ablation_overlap(
         )
     fig.series.append(hidden)
     fig.notes.append("overlapped latency <= blocking on every layer by construction")
+    return fig
+
+
+def ablation_decode_attention(
+    context_lengths: tuple[int, ...] = (64, 128, 256, 512, 1024),
+    num_devices: int = 4,
+) -> FigureResult:
+    """Decode attention mode: per-step KV all-gather vs log-sum-exp combine.
+
+    For a GPT-2 decode step at context length ``t`` on ``K`` devices, the
+    gathered mode ships ``2(K-1)tHF_H/K`` K/V elements per device per layer
+    (linear in ``t``) while the distributed mode ships a fixed
+    ``(K-1)H(F_H+2)`` packed-stats elements (flat in ``t``); per-rank
+    attention FLOPs drop from the full history to the local shard
+    (``O(t/K)``).  Wire bytes are float32; the crossover context length
+    where the combine starts winning on bytes is annotated — it sits at
+    ``t ≈ K/2`` tokens, i.e. essentially immediately.
+    """
+    from repro.models.config import gpt2_config
+
+    config = gpt2_config()
+    f, fh, heads = config.hidden_size, config.head_dim, config.num_heads
+    layers = config.num_layers
+    fig = FigureResult(
+        name="ablation_decode_attention",
+        title=f"Decode-step wire bytes and per-rank attention FLOPs vs context (K={num_devices})",
+        xlabel="context length t (tokens)",
+        ylabel="bytes/step per device (wire series), FLOPs/step per rank (flop series)",
+    )
+    projection = complexity.decode_gamma_local(0, f, fh).matmul  # QKV, t-free
+    for mode in complexity.DECODE_ATTENTION_MODES:
+        wire = Series(f"{mode} wire bytes/step")
+        flops = Series(f"{mode} score+context FLOPs/rank/step")
+        for t in context_lengths:
+            wire.add(
+                t,
+                complexity.decode_comm_elements(mode, t, heads, fh, num_devices)
+                * layers * 4,
+            )
+            rows = t if mode == "gathered" else -(-t // num_devices)
+            per_head = complexity.decode_gamma_local(rows, f, fh).matmul - projection
+            flops.add(t, heads * per_head * layers)
+        fig.series.extend([wire, flops])
+    crossover = complexity.decode_attention_crossover_length(fh, num_devices)
+    fig.notes.append(
+        f"wire-byte crossover at t = K(F_H+2)/(2 F_H) = {crossover:.2f} tokens: "
+        "the combine wins for every realistic context"
+    )
+    fig.notes.append(
+        f"distributed attention FLOPs are O(t/K): {num_devices}x fewer score/context "
+        "FLOPs per rank at every context length"
+    )
     return fig
 
 

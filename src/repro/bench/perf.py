@@ -21,6 +21,11 @@ a perf trajectory:
   greedy decode on one device vs position-sharded across 2 threaded ranks,
   bit-identity asserted before timing; the gate checks the deterministic
   per-device KV-shard all-gather byte count.
+- ``voltage_decode_gathered_attn`` / ``voltage_decode_distributed_attn`` —
+  the same sharded decode at long context (t >> F_H) with the per-step KV
+  all-gather vs local-shard attention + log-sum-exp combine; the gate
+  checks the exact combine byte count and the shape of the per-step wire
+  profile (flat for distributed, growing for gathered).
 
 Regression gating (``--check``) compares the in-run
 ``cached_decode_speedup_vs_legacy`` ratio against the committed baseline's
@@ -425,12 +430,84 @@ def _bench_voltage_decode(quick: bool) -> tuple[dict, dict, dict]:
     return sgl, dst, derived
 
 
+def _bench_voltage_decode_attention(quick: bool) -> tuple[dict, dict, dict]:
+    """Gathered vs distributed attention decode at long context.
+
+    Returns (gathered workload, distributed workload, derived fields).  The
+    prompt is much longer than the head dimension — the regime the combine
+    targets: gathered ships the whole K/V history every step (per-step bytes
+    grow with the context), distributed ships one ``(o, m, l)`` stats tuple
+    per head per step (per-step bytes flat in the context).  Token outputs
+    are asserted identical to ``generate_cached`` before timing.  Wall
+    ratios are host noise; the regression gate checks the exact per-device
+    combine byte count and the flat-vs-growing shape of the two per-step
+    wire profiles, all integers fixed by the protocol.
+    """
+    from repro.cluster.spec import ClusterSpec
+    from repro.models import GPT2Model
+    from repro.models.config import gpt2_config
+    from repro.systems.decode import generate_distributed, run_decode
+    from repro.systems.voltage import VoltageSystem
+
+    num_layers = 2 if quick else 4
+    prompt_len = 96 if quick else 256  # >> head_dim=64: long-context regime
+    new_tokens = 6 if quick else 12
+    devices = 2
+    config = gpt2_config().scaled(num_layers=num_layers)
+    model = GPT2Model(config, rng=np.random.default_rng(0))
+    system = VoltageSystem(model, ClusterSpec.homogeneous(devices))
+    prompt = np.random.default_rng(3).integers(0, config.vocab_size, size=prompt_len)
+
+    reference = model.generate_cached(prompt, max_new_tokens=new_tokens)
+    dist_ids, _ = generate_distributed(
+        system, prompt, max_new_tokens=new_tokens, attention="distributed"
+    )
+    np.testing.assert_array_equal(dist_ids, reference)
+
+    def gathered():
+        generate_distributed(system, prompt, max_new_tokens=new_tokens)
+
+    def distributed():
+        generate_distributed(
+            system, prompt, max_new_tokens=new_tokens, attention="distributed"
+        )
+
+    meta = dict(
+        model="gpt2", num_layers=num_layers, prompt_tokens=prompt_len,
+        new_tokens=new_tokens, devices=devices,
+    )
+    gat = _workload(
+        _time_samples(gathered, repeats=3, warmup=0),
+        _tracemalloc_peak(gathered), **meta, attention="gathered",
+    )
+    dst = _workload(
+        _time_samples(distributed, repeats=3, warmup=0),
+        _tracemalloc_peak(distributed), **meta, attention="distributed",
+    )
+    grun = run_decode(system, prompt, max_new_tokens=new_tokens)
+    drun = run_decode(
+        system, prompt, max_new_tokens=new_tokens, attention="distributed"
+    )
+    derived = {
+        "voltage_decode_attn_wall_ratio": dst["median_s"] / gat["median_s"],
+        "voltage_decode_combine_bytes": int(drun.meta["combine_bytes_per_device"]),
+        "voltage_decode_per_step_gather_bytes": [
+            int(b) for b in grun.meta["per_step_comm_bytes_per_device"]
+        ],
+        "voltage_decode_per_step_combine_bytes": [
+            int(b) for b in drun.meta["per_step_comm_bytes_per_device"]
+        ],
+    }
+    return gat, dst, derived
+
+
 def run_perf_suite(quick: bool = False) -> dict:
     """Run every workload; returns one mode's report payload."""
     opt, leg = _bench_gpt2_cached_decode(quick)
     overlap_blk, overlap_ovl, overlap_derived = _bench_voltage_overlap(quick)
     process_thr, process_prc, process_derived = _bench_voltage_process(quick)
     decode_sgl, decode_dst, decode_derived = _bench_voltage_decode(quick)
+    attn_gat, attn_dst, attn_derived = _bench_voltage_decode_attention(quick)
     workloads = {
         "gpt2_cached_decode": opt,
         "gpt2_cached_decode_legacy": leg,
@@ -442,6 +519,8 @@ def run_perf_suite(quick: bool = False) -> dict:
         "voltage_runtime_process": process_prc,
         "voltage_decode_single": decode_sgl,
         "voltage_decode_distributed": decode_dst,
+        "voltage_decode_gathered_attn": attn_gat,
+        "voltage_decode_distributed_attn": attn_dst,
     }
     derived = {
         "cached_decode_speedup_vs_legacy": leg["median_s"] / opt["median_s"],
@@ -451,6 +530,7 @@ def run_perf_suite(quick: bool = False) -> dict:
         **overlap_derived,
         **process_derived,
         **decode_derived,
+        **attn_derived,
     }
     return {"workloads": workloads, "derived": derived}
 
@@ -535,4 +615,32 @@ def check_regression(
             f"decode KV all-gather bytes changed: {now_kv} now vs "
             f"{base_kv} baseline (shard geometry or loop change?)"
         )
+    # distributed-attention decode: the combine stats volume is fixed by the
+    # packing (one (F_H + 2)-row per head per new position per layer), so
+    # exact equality vs the baseline — presence-guarded as above
+    now_combine = derived.get("voltage_decode_combine_bytes")
+    base_combine = base.get("derived", {}).get("voltage_decode_combine_bytes")
+    if now_combine is not None and base_combine is not None and now_combine != base_combine:
+        errors.append(
+            f"decode combine bytes changed: {now_combine} now vs "
+            f"{base_combine} baseline (stats packing or loop change?)"
+        )
+    # the whole point of the combine: per-step wire bytes must be *flat* in
+    # the context for distributed attention, while the gathered profile
+    # grows as the cache fills (step 0 is the prefill and is excluded)
+    combine_steps = derived.get("voltage_decode_per_step_combine_bytes")
+    if combine_steps is not None and len(combine_steps) > 2:
+        decode_only = combine_steps[1:]
+        if len(set(decode_only)) != 1:
+            errors.append(
+                f"distributed-attention per-step bytes not flat: {decode_only}"
+            )
+    gather_steps = derived.get("voltage_decode_per_step_gather_bytes")
+    if gather_steps is not None and len(gather_steps) > 2:
+        decode_only = gather_steps[1:]
+        nondecreasing = all(a <= b for a, b in zip(decode_only, decode_only[1:]))
+        if not nondecreasing or decode_only[-1] <= decode_only[0]:
+            errors.append(
+                f"gathered per-step bytes should grow with the context: {decode_only}"
+            )
     return errors

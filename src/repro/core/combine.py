@@ -1,0 +1,163 @@
+"""Log-sum-exp softmax combine for position-sharded distributed attention.
+
+The gathered decode path (INTERNALS §13) reassembles the *full* K/V on every
+rank before attending, which replicates the per-token score/context work on
+every device and moves ``2(K-1)tHF_H/K`` cache elements per layer per step —
+a wire volume that grows with the sequence.  Distributed attention flips the
+decomposition: each rank scores the new token only against its **own** K/V
+shard and emits three per-head running statistics
+
+- ``o_k`` — the *unnormalised* partial context ``exp(s - m_k) @ V_k``,
+- ``m_k`` — the running maximum of the local (masked, scaled) scores,
+- ``l_k`` — the local normaliser ``sum(exp(s - m_k))``,
+
+so ranks exchange only ``K·H·(F_H+2)`` elements per layer regardless of how
+long the sequence has grown.  The exact softmax attention output is then
+
+    m = max_k m_k
+    l = sum_k l_k · exp(m_k - m)
+    o = (sum_k o_k · exp(m_k - m)) / l
+
+which is algebraically identical to softmax over the concatenated scores —
+the same identity that makes FlashAttention's tiling and ring attention
+exact.  In floating point the result differs from the monolithic softmax
+only by re-association, so the verify harness compares it under the
+regime-2 *closeness* policy (``repro.verify.tolerances``) rather than
+``np.array_equal``.
+
+Two rules make the combine deterministic and total:
+
+- **rank order** — reductions run in rank index order, never in network
+  arrival order, so every rank (and the host-side emulation) computes the
+  bit-identical combined output from the same gathered statistics;
+- **neutral stats** — a rank whose span holds no populated rows yet (or
+  whose rows are all causally masked for a query) contributes
+  ``o = 0, m = -inf, l = 0``; ``exp(-inf - m) = 0`` removes it from every
+  sum, and a guard keeps the all-neutral case (impossible for a valid
+  causal query, which always sees itself) NaN-free.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "neutral_softmax_stats",
+    "local_softmax_stats",
+    "combine_softmax_stats",
+    "pack_softmax_stats",
+    "unpack_softmax_stats",
+]
+
+
+def neutral_softmax_stats(
+    heads: int, queries: int, head_dim: int, dtype=np.float32
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The combine's identity element: ``o = 0, m = -inf, l = 0``.
+
+    Emitted by a rank whose shard holds no rows visible to any query —
+    e.g. a trailing rank whose span is still empty at step 0, or ``K > t``
+    deployments where some spans never fill.
+    """
+    o = np.zeros((heads, queries, head_dim), dtype=dtype)
+    m = np.full((heads, queries), -np.inf, dtype=dtype)
+    length = np.zeros((heads, queries), dtype=dtype)
+    return o, m, length
+
+
+def local_softmax_stats(
+    q: np.ndarray,
+    k_shard: np.ndarray,
+    v_shard: np.ndarray,
+    *,
+    shard_start: int,
+    query_offset: int,
+    causal: bool = True,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One rank's partial attention over its own K/V shard rows.
+
+    ``q`` is ``(H, P, F_H)`` — the new positions' queries; ``k_shard`` /
+    ``v_shard`` are ``(H, T_k, F_H)`` — the rows this rank owns, covering
+    global positions ``[shard_start, shard_start + T_k)`` (contiguous by
+    construction: spans fill front to back).  ``query_offset`` is the global
+    position of query row 0.  Returns ``(o, m, l)`` with shapes
+    ``(H, P, F_H)``, ``(H, P)``, ``(H, P)``; rows with no visible local keys
+    get the neutral stats.
+    """
+    heads, queries, head_dim = q.shape
+    local_rows = k_shard.shape[1]
+    if local_rows == 0:
+        return neutral_softmax_stats(heads, queries, head_dim, dtype=q.dtype)
+    # math.sqrt keeps float32 queries float32 under NEP 50 (see cache.py)
+    scores = q @ k_shard.transpose(0, 2, 1)
+    scores = scores / math.sqrt(head_dim)
+    if causal:
+        # query row i (global position query_offset + i) may only attend to
+        # key rows at global positions <= query_offset + i
+        q_pos = query_offset + np.arange(queries)[:, None]
+        k_pos = shard_start + np.arange(local_rows)[None, :]
+        scores = np.where(k_pos > q_pos, -np.inf, scores)
+    m = np.max(scores, axis=-1)
+    # all-masked rows have m = -inf; exp(-inf - -inf) would be NaN, so the
+    # weights are forced to the neutral zeros instead
+    finite = np.isfinite(m)
+    weights = np.where(
+        finite[..., None], np.exp(scores - np.where(finite, m, 0.0)[..., None]), 0.0
+    )
+    length = weights.sum(axis=-1, dtype=q.dtype)
+    o = (weights @ v_shard).astype(q.dtype, copy=False)
+    return o, m.astype(q.dtype, copy=False), length
+
+
+def combine_softmax_stats(
+    stats: Sequence[tuple[np.ndarray, np.ndarray, np.ndarray]],
+) -> np.ndarray:
+    """Rank-order log-sum-exp reduction of per-shard ``(o, m, l)`` stats.
+
+    ``stats[k]`` is rank ``k``'s tuple; the reduction always walks the
+    sequence in rank index order (the caller must supply it rank-ordered,
+    which an all-gather does by construction), so the result is independent
+    of network arrival order.  Returns the ``(H, P, F_H)`` attention output
+    — exact softmax attention up to float re-association.
+    """
+    if not stats:
+        raise ValueError("cannot combine an empty stats sequence")
+    o0, m0, _ = stats[0]
+    m = m0.copy()
+    for _, m_k, _ in stats[1:]:
+        np.maximum(m, m_k, out=m)
+    # a query with every shard neutral has m = -inf; that cannot happen for
+    # a valid causal query (it always sees at least itself), but the guard
+    # keeps the arithmetic NaN-free if a caller combines partial coverage
+    safe_m = np.where(np.isfinite(m), m, 0.0)
+    o = np.zeros_like(o0)
+    length = np.zeros_like(m0)
+    for o_k, m_k, l_k in stats:
+        scale = np.where(np.isfinite(m_k), np.exp(m_k - safe_m), 0.0)
+        o += o_k * scale[..., None]
+        length += l_k * scale
+    length = np.where(length == 0.0, 1.0, length)  # neutral-only rows stay 0
+    return o / length[..., None]
+
+
+def pack_softmax_stats(
+    o: np.ndarray, m: np.ndarray, length: np.ndarray
+) -> np.ndarray:
+    """Pack ``(o, m, l)`` into one ``(H, P, F_H + 2)`` wire array.
+
+    A single contiguous array keeps the exchange one collective (and one
+    wire frame per hop) instead of three.
+    """
+    return np.concatenate([o, m[..., None], length[..., None]], axis=-1)
+
+
+def unpack_softmax_stats(
+    packed: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Inverse of :func:`pack_softmax_stats`."""
+    if packed.ndim != 3 or packed.shape[-1] < 3:
+        raise ValueError(f"packed stats must be (H, P, F_H + 2), got {packed.shape}")
+    return packed[..., :-2], packed[..., -2], packed[..., -1]

@@ -486,6 +486,157 @@ def decode_kv_gather_elements(t: int, num_heads: int, fh: int, k: int) -> float:
     return 2 * (k - 1) * t * num_heads * fh / k
 
 
+def decode_gamma_local(
+    t_local: int, f: int, fh: int, new_positions: int = 1
+) -> OrderCost:
+    """Per-head cost of one *distributed-attention* decode step on one rank.
+
+    The rank projects the ``P`` new rows (fused QKV, replicated — splitting
+    one token's GEMMs would change operand shapes) but scores them only
+    against the ``t_local`` K/V rows its own shard holds: ``2·P·t_local·F_H``
+    for the local score and partial-context products, vs the gathered path's
+    ``2·P·t·F_H`` against the full history.  Summed over ranks the score
+    work equals the gathered path's (``Σ t_local = t``), so per-rank
+    attention FLOPs scale as O(1/K) under balanced spans.  The log-sum-exp
+    combine itself is linear in ``K·P·F_H`` and lands in the linear term.
+    """
+    p = new_positions
+    if p < 1:
+        raise ValueError(f"new_positions must be >= 1, got {p}")
+    if t_local < 0:
+        raise ValueError(f"local rows must be >= 0, got {t_local}")
+    if f < 1 or fh < 1:
+        raise ValueError(f"feature dims must be positive, got F={f}, F_H={fh}")
+    return OrderCost(matmul=3 * p * f * fh + 2 * p * t_local * fh, linear=p * t_local)
+
+
+def decode_combine_elements(num_heads: int, fh: int, k: int, new_positions: int = 1) -> int:
+    """Total combine all-gather volume per layer: ``K·H·(F_H + 2)·P`` elements.
+
+    Every rank contributes one packed ``(o, m, l)`` tuple of
+    ``H·(F_H + 2)`` elements per new position; the gathered total is
+    **independent of the sequence length t** — the whole point of the
+    distributed-attention decode.  Compare :func:`decode_kv_gather_elements`,
+    which grows linearly in ``t``.
+    """
+    if k < 1:
+        raise ValueError(f"device count must be >= 1, got {k}")
+    if new_positions < 1:
+        raise ValueError(f"new_positions must be >= 1, got {new_positions}")
+    return k * num_heads * (fh + 2) * new_positions
+
+
+def decode_comm_elements(
+    mode: str, t: int, num_heads: int, fh: int, k: int, new_positions: int = 1
+) -> float:
+    """Per-device per-layer wire volume of one decode step under ``mode``.
+
+    The received-elements convention of :func:`decode_kv_gather_elements`:
+    a rank receives every peer's chunk.  ``gathered`` moves the K/V shards
+    (``2(K-1)tHF_H/K``, grows with t); ``distributed`` moves the combine
+    stats (``(K-1)·H·(F_H+2)·P``, flat in t).
+    """
+    if mode == "gathered":
+        return decode_kv_gather_elements(t, num_heads, fh, k)
+    if mode == "distributed":
+        if k < 1:
+            raise ValueError(f"device count must be >= 1, got {k}")
+        return (k - 1) * num_heads * (fh + 2) * new_positions
+    raise ValueError(f"decode attention mode must be one of {DECODE_ATTENTION_MODES}, got {mode!r}")
+
+
+def decode_attention_crossover_length(fh: int, k: int) -> float:
+    """The t beyond which distributed attention's wire volume wins.
+
+    Per device per layer, gathered moves ``2(K-1)tHF_H/K`` elements and
+    distributed moves ``(K-1)H(F_H+2)``; the ``(K-1)·H`` factors cancel and
+    the crossover is ``t > K·(F_H+2)/(2·F_H)`` — roughly ``K/2`` steps for
+    realistic head widths, i.e. almost immediately.  ``inf`` for K=1 (no
+    communication either way, so distributed never strictly wins).
+    """
+    if k < 1:
+        raise ValueError(f"device count must be >= 1, got {k}")
+    if fh < 1:
+        raise ValueError(f"head dim must be >= 1, got {fh}")
+    if k == 1:
+        return math.inf
+    return k * (fh + 2) / (2 * fh)
+
+
+#: The two decode attention modes the cost table (and every decode surface —
+#: ``systems.decode``, ``bench.analytic``, the verify scenario axis) accepts.
+DECODE_ATTENTION_MODES = ("gathered", "distributed")
+
+
+@dataclass(frozen=True)
+class DecodeModeCost:
+    """One row of the decode cost table: per-step formulas for one mode.
+
+    ``run_decode``'s accounting and ``bench.analytic.voltage_decode_latency``
+    both price steps through this object, so the two timelines agree by
+    construction rather than by duplicated formulas (they are cross-checked
+    to ``ANALYTIC_REL_TOL`` anyway).
+    """
+
+    mode: str
+
+    def rank_flops(
+        self,
+        t: int,
+        num_layers: int,
+        f: int,
+        fh: int,
+        num_heads: int,
+        ffn_dim: int,
+        new_positions: int = 1,
+        local_rows: int | None = None,
+    ) -> int:
+        """Whole-stack matmul FLOPs of one step on one rank.
+
+        ``local_rows`` is the rank's populated shard rows (post-append) and
+        is required for ``distributed`` — per-rank cost depends on the shard
+        fill; ``gathered`` replicates the full-history step on every rank.
+        """
+        p = new_positions
+        if self.mode == "gathered":
+            return decode_step_flops(
+                t, num_layers, f, fh, num_heads, ffn_dim, new_positions=p
+            )
+        if local_rows is None:
+            raise ValueError("distributed rank_flops needs the rank's local_rows")
+        per_head = decode_gamma_local(local_rows, f, fh, new_positions=p).matmul
+        out_proj = p * (num_heads * fh) * f
+        layer = num_heads * per_head + out_proj + ffn_flops(p, f, ffn_dim)
+        return num_layers * layer
+
+    def comm_elements(
+        self, t: int, num_heads: int, fh: int, k: int, new_positions: int = 1
+    ) -> float:
+        """Per-device per-layer wire elements of one step."""
+        return decode_comm_elements(
+            self.mode, t, num_heads, fh, k, new_positions=new_positions
+        )
+
+    def order(self, t: int, f: int, fh: int) -> AttentionOrder:
+        """Both modes execute the materialised-K/V Eq. (3) ordering: the
+        cache (whole or sharded) *is* the K/V Eq. (8) exists to avoid."""
+        return select_decode_order(t, f, fh, cached=True)
+
+
+#: The decode cost table: one source of truth per attention mode.
+DECODE_MODE_COSTS = {mode: DecodeModeCost(mode) for mode in DECODE_ATTENTION_MODES}
+
+
+def decode_mode_cost(mode: str) -> DecodeModeCost:
+    """Look up one mode's cost-table row (raises on unknown modes)."""
+    try:
+        return DECODE_MODE_COSTS[mode]
+    except KeyError:
+        raise ValueError(
+            f"decode attention mode must be one of {DECODE_ATTENTION_MODES}, got {mode!r}"
+        ) from None
+
+
 def select_decode_order(t: int, f: int, fh: int, cached: bool = True) -> AttentionOrder:
     """Order choice for a one-token decode step at total length ``t``.
 
@@ -516,9 +667,17 @@ def decode_order_switch_length(f: int, fh: int) -> float:
 
 __all__ += [
     "decode_gamma_cached",
+    "decode_gamma_local",
     "decode_layer_flops",
     "decode_step_flops",
     "decode_kv_gather_elements",
+    "decode_combine_elements",
+    "decode_comm_elements",
+    "decode_attention_crossover_length",
+    "DECODE_ATTENTION_MODES",
+    "DecodeModeCost",
+    "DECODE_MODE_COSTS",
+    "decode_mode_cost",
     "select_decode_order",
     "decode_order_switch_length",
 ]

@@ -258,12 +258,18 @@ class DecodeSession:
     the children.
     """
 
-    def __init__(self, system, runtime=None, timeout: float = 60.0):
+    def __init__(self, system, runtime=None, timeout: float = 60.0, attention: str = "gathered"):
         from repro.cluster.process_runtime import ProcessRuntime, resolve_runtime
+        from repro.core.complexity import DECODE_ATTENTION_MODES
 
+        if attention not in DECODE_ATTENTION_MODES:
+            raise ValueError(
+                f"attention must be one of {DECODE_ATTENTION_MODES}, got {attention!r}"
+            )
         self.system = system
         self.k = system.k
         self.timeout = timeout
+        self.attention = attention
         # A resident session returns worker results only at shutdown, so the
         # process runtime's no-progress watchdog needs the session-lifetime
         # timeout, not the per-recv default.
@@ -285,12 +291,15 @@ class DecodeSession:
     def _serve(self) -> None:
         from repro.systems.decode import (
             decode_layer_spans,
+            decode_stats_wire,
             fresh_shards,
             sharded_decode_step,
         )
         from repro.tensor.workspace import Workspace
 
         system = self.system
+        attention = self.attention
+        stats_dtype, _ = decode_stats_wire(system.wire_dtype)
         commands, replies = self._commands, self._replies
 
         def worker(ctx):
@@ -298,6 +307,10 @@ class DecodeSession:
 
             def gather_kv(k_shard, v_shard):
                 return ctx.all_gather(k_shard, axis=1), ctx.all_gather(v_shard, axis=1)
+
+            def gather_stats(packed):
+                wire = packed.astype(stats_dtype, copy=False)
+                return ctx.all_gather(wire[None], axis=0).astype(np.float32)
 
             while True:
                 command = commands[ctx.rank].get()
@@ -318,6 +331,7 @@ class DecodeSession:
                         next_id = sharded_decode_step(
                             system.model, layer_parts, shards, ctx.rank,
                             new_ids, offset, gather_kv, workspace=workspace,
+                            attention=attention, gather_stats=gather_stats,
                         )
                         reply = ("ok", next_id)
                     elif op == "release":
@@ -428,7 +442,13 @@ class VoltageDecodeSequencer:
         prompt_seed: int = 0,
         runtime=None,
         session_timeout: float = 60.0,
+        attention: str = "gathered",
     ):
+        """``attention`` selects the decode mode the resident ranks run:
+        ``"gathered"`` (lossless per-step K/V all-gather, bit-identical to
+        ``generate_cached``) or ``"distributed"`` (local-shard attention
+        with the log-sum-exp combine — exact up to float tolerance, per-step
+        wire volume flat in the sequence length)."""
         if max_new_tokens < 0:
             raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
         self.system = system
@@ -438,6 +458,7 @@ class VoltageDecodeSequencer:
         self.prompt_seed = prompt_seed
         self.runtime = runtime
         self.session_timeout = session_timeout
+        self.attention = attention
         self._session: DecodeSession | None = None
 
     @property
@@ -448,7 +469,8 @@ class VoltageDecodeSequencer:
         """The resident rank pool, started on first use."""
         if self._session is None:
             self._session = DecodeSession(
-                self.system, runtime=self.runtime, timeout=self.session_timeout
+                self.system, runtime=self.runtime, timeout=self.session_timeout,
+                attention=self.attention,
             )
         return self._session
 

@@ -37,6 +37,7 @@ __all__ = [
     "KVCache",
     "layer_forward_cached",
     "layer_forward_cached_kv",
+    "layer_forward_cached_attention",
     "shard_kv_cache",
     "merge_kv_shards",
     "shard_kv_views",
@@ -172,6 +173,30 @@ class KVCache:
             layer.truncate(length)
 
 
+def _project_qkv(
+    attention, attn_input: np.ndarray, workspace: Workspace | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Fused QKV projection of the new positions, split into per-head views.
+
+    Returns ``(q, k_new, v_new)``, each ``(H, t, F_H)`` — views into the
+    workspace's ``qkv`` scratch when one is supplied, so they are valid
+    until the next workspace request for that key.
+    """
+    t = attn_input.shape[0]
+    heads = attention.num_heads
+    width = heads * attention.head_dim
+    dt = np.result_type(attn_input.dtype, attention.query.weight.data.dtype)
+
+    if workspace is not None and attn_input.dtype == dt:
+        qkv = attention.qkv_projection(attn_input, out=workspace.take("qkv", (t, 3 * width), dt))
+    else:
+        qkv = attention.qkv_projection(attn_input)
+    q = split_heads(qkv[:, :width], heads)
+    k_new = split_heads(qkv[:, width : 2 * width], heads)
+    v_new = split_heads(qkv[:, 2 * width :], heads)
+    return q, k_new, v_new
+
+
 def _cached_attention(
     attention,
     attn_input: np.ndarray,
@@ -199,16 +224,8 @@ def _cached_attention(
     """
     t = attn_input.shape[0]
     heads = attention.num_heads
-    width = heads * attention.head_dim
     dt = np.result_type(attn_input.dtype, attention.query.weight.data.dtype)
-
-    if workspace is not None and attn_input.dtype == dt:
-        qkv = attention.qkv_projection(attn_input, out=workspace.take("qkv", (t, 3 * width), dt))
-    else:
-        qkv = attention.qkv_projection(attn_input)
-    q = split_heads(qkv[:, :width], heads)
-    k_new = split_heads(qkv[:, width : 2 * width], heads)
-    v_new = split_heads(qkv[:, 2 * width :], heads)
+    q, k_new, v_new = _project_qkv(attention, attn_input, workspace)
     k_all, v_all = extend_kv(k_new, v_new)
     total = k_all.shape[1]
 
@@ -281,8 +298,44 @@ def layer_forward_cached_kv(
 
     attn_input = x_new if layer.config.norm_style == "post" else layer.ln1(x_new)
     attended = _cached_attention(attention, attn_input, extend_kv, offset, True, workspace)
-    projected = attention.output(attended)
+    return _layer_epilogue(layer, x_new, attended)
 
+
+def layer_forward_cached_attention(
+    layer: TransformerLayer,
+    x_new: np.ndarray,
+    attend,
+    workspace: Workspace | None = None,
+) -> np.ndarray:
+    """:func:`layer_forward_cached_kv` with a fully pluggable attention kernel.
+
+    ``attend(q, k_new, v_new) -> (H, t, F_H)`` receives the new positions'
+    per-head projections (each ``(H, t, F_H)``) and must return the
+    *normalised* attended context for those positions — it owns cache
+    extension, score scaling, causal masking and the softmax.  Used by the
+    distributed-attention decode, where each rank attends only against its
+    local K/V shard and reconstructs the exact output with a log-sum-exp
+    combine (:mod:`repro.core.combine`); unlike the ``extend_kv`` hook, the
+    kernel's float re-association makes the result *close to* — not
+    bit-identical with — the single-device layer output.
+
+    The projection prologue and residual/FFN epilogue are the same code
+    paths :func:`layer_forward_cached_kv` runs, so any output difference is
+    attributable to the attention kernel alone.
+    """
+    if not layer.config.is_causal:
+        raise ValueError("KV caching requires a causal layer")
+    attention = layer.attention
+
+    attn_input = x_new if layer.config.norm_style == "post" else layer.ln1(x_new)
+    q, k_new, v_new = _project_qkv(attention, attn_input, workspace)
+    attended = merge_heads(attend(q, k_new, v_new))
+    return _layer_epilogue(layer, x_new, attended)
+
+
+def _layer_epilogue(layer: TransformerLayer, x_new: np.ndarray, attended: np.ndarray) -> np.ndarray:
+    """Output projection, residuals, norms and FFN — shared by both hooks."""
+    projected = layer.attention.output(attended)
     if layer.config.norm_style == "post":
         y = layer.ln1(projected + x_new)
         return layer.ln2(y + layer.ffn(y))

@@ -129,19 +129,31 @@ class VoltageSystem(InferenceSystem):
 
     # -- distributed autoregressive decode (position-sharded KV cache) ---------
 
-    def generate_distributed(self, prompt_ids, max_new_tokens: int = 8, runtime=None, timeout=None):
-        """Greedy decode on ``K`` ranks; see :mod:`repro.systems.decode`."""
+    def generate_distributed(
+        self, prompt_ids, max_new_tokens: int = 8, runtime=None, timeout=None,
+        attention: str = "gathered",
+    ):
+        """Greedy decode on ``K`` ranks; see :mod:`repro.systems.decode`.
+
+        ``attention="gathered"`` reassembles the full K/V per step
+        (bit-identical to ``generate_cached``); ``attention="distributed"``
+        attends per-shard with a log-sum-exp combine (exact up to float
+        tolerance, per-step wire volume independent of sequence length).
+        """
         from repro.systems.decode import generate_distributed
 
         return generate_distributed(
-            self, prompt_ids, max_new_tokens=max_new_tokens, runtime=runtime, timeout=timeout
+            self, prompt_ids, max_new_tokens=max_new_tokens, runtime=runtime,
+            timeout=timeout, attention=attention,
         )
 
-    def run_decode(self, prompt_ids, max_new_tokens: int = 8):
+    def run_decode(self, prompt_ids, max_new_tokens: int = 8, attention: str = "gathered"):
         """Host-emulated sharded decode with a simulated per-token timeline."""
         from repro.systems.decode import run_decode
 
-        return run_decode(self, prompt_ids, max_new_tokens=max_new_tokens)
+        return run_decode(
+            self, prompt_ids, max_new_tokens=max_new_tokens, attention=attention
+        )
 
     # -- host-emulated execution with simulated latency ------------------------
 

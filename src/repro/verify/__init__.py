@@ -38,8 +38,12 @@ from repro.verify.scenario import (
 from repro.verify.shrink import config_cost, shrink_config
 from repro.verify.tolerances import (
     ANALYTIC_REL_TOL,
+    DECODE_CLOSENESS,
     OUTPUT_TOLERANCES,
     Tolerance,
+    benign_argmax_tie,
+    decode_closeness,
+    decode_logits_close,
     max_abs_diff,
     output_tolerance,
     outputs_close,
@@ -47,17 +51,21 @@ from repro.verify.tolerances import (
 
 __all__ = [
     "ANALYTIC_REL_TOL",
+    "DECODE_CLOSENESS",
     "OUTPUT_TOLERANCES",
     "Check",
     "ScenarioConfig",
     "ScenarioResult",
     "Tolerance",
     "VerifyReport",
+    "benign_argmax_tie",
     "build_cluster",
     "build_input",
     "build_model",
     "build_scheme",
     "config_cost",
+    "decode_closeness",
+    "decode_logits_close",
     "default_voltage_factory",
     "max_abs_diff",
     "output_tolerance",

@@ -108,6 +108,7 @@ def run_verification(
     max_shrink_attempts: int = 60,
     force_runtime: str | None = None,
     force_decode: bool = False,
+    force_decode_attention: str | None = None,
 ) -> VerifyReport:
     """Fuzz ``num_seeds`` scenarios; shrink whatever fails.
 
@@ -115,7 +116,9 @@ def run_verification(
     ``"process"`` for a process-runtime conformance lane) instead of letting
     the seed draw it.  ``force_decode`` pins every scenario to a gpt2 decode
     scenario (1-4 token steps, derived from the seed) — the decode
-    conformance lane.
+    conformance lane.  ``force_decode_attention`` pins the decode attention
+    mode (``"gathered"`` or ``"distributed"``) on every scenario that
+    decodes; scenarios without decode steps are unaffected.
     """
     if num_seeds < 1:
         raise ValueError(f"need at least one seed, got {num_seeds}")
@@ -132,6 +135,8 @@ def run_verification(
                     family="gpt2",
                     decode_steps=config.decode_steps or (seed % 4) + 1,
                 )
+            if force_decode_attention is not None and config.decode_steps:
+                config = config.replaced(decode_attention=force_decode_attention)
             scenario_started = time.perf_counter()
             result = run_scenario(config, voltage_factory=voltage_factory)
             registry.histogram("verify.scenario_seconds").observe(

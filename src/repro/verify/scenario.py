@@ -34,6 +34,7 @@ SCHEME_KINDS = ("even", "proportional", "auto", "schedule")
 WIRE_DTYPES = ("float32", "float16", "int8")
 ORDER_MODES = ("adaptive", "naive", "reordered")
 RUNTIMES = ("threaded", "process")
+DECODE_ATTENTIONS = ("gathered", "distributed")
 
 
 @dataclass(frozen=True)
@@ -60,6 +61,7 @@ class ScenarioConfig:
     overlap: bool = False  # stream ring chunks into next-layer compute
     runtime: str = "threaded"  # worker backend: threads or OS processes
     decode_steps: int = 0  # gpt2 only: also verify distributed greedy decode
+    decode_attention: str = "gathered"  # decode mode: gathered | distributed
 
     def __post_init__(self) -> None:
         if self.runtime not in RUNTIMES:
@@ -85,6 +87,11 @@ class ScenarioConfig:
             raise ValueError(f"decode_steps must be >= 0, got {self.decode_steps}")
         if self.decode_steps and self.family != "gpt2":
             raise ValueError("decode scenarios require the gpt2 family")
+        if self.decode_attention not in DECODE_ATTENTIONS:
+            raise ValueError(
+                f"decode_attention must be one of {DECODE_ATTENTIONS}, "
+                f"got {self.decode_attention!r}"
+            )
 
     @property
     def hidden_size(self) -> int:
@@ -104,6 +111,8 @@ class ScenarioConfig:
             extras.append(self.runtime)
         if self.decode_steps:
             extras.append(f"decode={self.decode_steps}")
+        if self.decode_attention != "gathered":
+            extras.append(f"attn={self.decode_attention}")
         tail = (" " + " ".join(extras)) if extras else ""
         return (
             f"seed={self.seed} {self.family} L={self.num_layers} F={self.hidden_size} "
@@ -137,6 +146,7 @@ class ScenarioConfig:
             "overlap": self.overlap,
             "runtime": self.runtime,
             "decode_steps": self.decode_steps,
+            "decode_attention": self.decode_attention,
         }
 
     @classmethod
@@ -207,6 +217,13 @@ def sample_scenario(seed: int) -> ScenarioConfig:
     decode_steps = 0
     if family == "gpt2" and rng.random() < 0.5:
         decode_steps = int(rng.integers(1, 5))
+    # decode attention mode drawn after everything else (again: new axes go
+    # last so pre-existing seeds keep replaying byte-identical scenarios);
+    # only decode scenarios consume the draw, and those seeds gained the
+    # axis in the same PR that introduced it
+    decode_attention = "gathered"
+    if decode_steps and rng.random() < 0.5:
+        decode_attention = "distributed"
 
     return ScenarioConfig(
         seed=seed,
@@ -229,6 +246,7 @@ def sample_scenario(seed: int) -> ScenarioConfig:
         overlap=overlap,
         runtime=runtime,
         decode_steps=decode_steps,
+        decode_attention=decode_attention,
     )
 
 

@@ -44,6 +44,8 @@ def config_cost(config: ScenarioConfig) -> float:
     if config.runtime != "threaded":
         cost += 10  # a process fleet is heavier to replay than threads
     cost += config.decode_steps * 20  # each decode step replays the token loop
+    if config.decode_attention != "gathered":
+        cost += 15  # distributed attention adds the whole combine machinery
     return float(cost)
 
 
@@ -71,6 +73,8 @@ def _fixup(config: ScenarioConfig, **overrides) -> ScenarioConfig | None:
     merged["failures"] = [
         [d, layer] for d, layer in merged["failures"] if d < devices and layer < num_layers
     ]
+    if not merged["decode_steps"]:
+        merged["decode_attention"] = "gathered"  # axis is vacuous without a token loop
     if merged["family"] == "vit":
         merged["seq_len"] = (merged["image_size"] // merged["patch_size"]) ** 2 + 1
     try:
@@ -130,6 +134,12 @@ def _candidates(config: ScenarioConfig) -> Iterator[ScenarioConfig]:
             yield c
     if config.runtime != "threaded":
         c = emit(_fixup(config, runtime="threaded"))
+        if c:
+            yield c
+    if config.decode_attention != "gathered":
+        # gathered attention first: it strips the log-sum-exp combine while
+        # keeping the token loop, isolating combine bugs from cache bugs
+        c = emit(_fixup(config, decode_attention="gathered"))
         if c:
             yield c
     if config.decode_steps:

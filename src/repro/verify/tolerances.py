@@ -32,9 +32,13 @@ import numpy as np
 __all__ = [
     "Tolerance",
     "OUTPUT_TOLERANCES",
+    "DECODE_CLOSENESS",
     "ANALYTIC_REL_TOL",
     "output_tolerance",
     "outputs_close",
+    "decode_closeness",
+    "decode_logits_close",
+    "benign_argmax_tie",
     "max_abs_diff",
 ]
 
@@ -70,6 +74,65 @@ def outputs_close(output: np.ndarray, reference: np.ndarray, wire_dtype: str) ->
         return False
     tol = output_tolerance(wire_dtype, reference)
     return bool(np.allclose(output, reference, rtol=tol.rtol, atol=tol.atol))
+
+
+#: Regime-2 bounds for *distributed-attention decode* logits against the
+#: single-device ``generate_cached`` reference.  The only error sources are
+#: the log-sum-exp combine's float re-association (per shard, per layer) and
+#: — on a float16 wire — one rounding of the combine stats per layer; both
+#: are far smaller than a whole forward pass of lossy activation encoding,
+#: so the bounds are tighter than :data:`OUTPUT_TOLERANCES`.  ``int8``
+#: systems keep float32 combine stats (the affine activation codec is not
+#: calibrated for running-max/normaliser pairs), so their decode bound is
+#: the float32 one.
+DECODE_CLOSENESS = {
+    "float32": Tolerance(rtol=1e-5, atol=1e-5),
+    "float16": Tolerance(rtol=1e-2, atol=2e-2),
+    "int8": Tolerance(rtol=1e-5, atol=1e-5),
+}
+
+
+def decode_closeness(wire_dtype: str) -> Tolerance:
+    """The regime-2 bound for a distributed-attention decode on this wire."""
+    return DECODE_CLOSENESS[wire_dtype]
+
+
+def decode_logits_close(
+    logits: np.ndarray, reference: np.ndarray, wire_dtype: str
+) -> bool:
+    """Scale-aware closeness of decode logits against the reference's.
+
+    Like :func:`outputs_close`, the absolute term is scaled by the
+    reference magnitude so tiny fuzz models and GPT-2-sized logits are
+    judged by the same relative yardstick.
+    """
+    if logits.shape != reference.shape:
+        return False
+    tol = decode_closeness(wire_dtype)
+    scale = max(1.0, float(np.max(np.abs(reference)))) if reference.size else 1.0
+    return bool(np.allclose(logits, reference, rtol=tol.rtol, atol=tol.atol * scale))
+
+
+def benign_argmax_tie(reference_logits: np.ndarray, wire_dtype: str) -> bool:
+    """Whether a greedy-token divergence at this step is a benign tie.
+
+    Distributed-attention logits sit within the closeness band of the
+    reference; when the reference's top two logits are closer than that
+    band, ``argmax`` may legitimately flip — the decode is still correct to
+    tolerance, it just broke a float tie the other way.  Returns True when
+    the reference top-2 gap is within the decode closeness bound (i.e. a
+    flip is explainable by in-tolerance noise), False when the gap is wide
+    and a divergence would be a real defect.
+    """
+    flat = np.asarray(reference_logits, dtype=np.float64).ravel()
+    if flat.size < 2:
+        return False
+    top2 = np.partition(flat, -2)[-2:]
+    gap = float(top2[1] - top2[0])
+    tol = decode_closeness(wire_dtype)
+    scale = max(1.0, float(np.max(np.abs(flat))))
+    # both logits may each be off by the band, so a 2x-band gap can flip
+    return gap <= 2.0 * (tol.rtol * scale + tol.atol * scale)
 
 
 def max_abs_diff(a: np.ndarray, b: np.ndarray) -> float:

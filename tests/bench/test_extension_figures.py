@@ -46,6 +46,38 @@ class TestEfficientCommTable:
         assert gather.y_at(800) == pytest.approx(8 * gather.y_at(100), rel=1e-6)
 
 
+class TestDecodeAttentionAblation:
+    @pytest.fixture(scope="class")
+    def fig(self):
+        return figures.ablation_decode_attention(
+            context_lengths=(64, 128, 256, 512), num_devices=4
+        )
+
+    def test_four_series(self, fig):
+        assert {s.label for s in fig.series} == {
+            "gathered wire bytes/step",
+            "distributed wire bytes/step",
+            "gathered score+context FLOPs/rank/step",
+            "distributed score+context FLOPs/rank/step",
+        }
+
+    def test_distributed_wire_flat_in_context(self, fig):
+        assert len(set(fig.series_by_label("distributed wire bytes/step").ys)) == 1
+
+    def test_gathered_wire_linear_in_context(self, fig):
+        gathered = fig.series_by_label("gathered wire bytes/step")
+        assert gathered.y_at(512) == pytest.approx(8 * gathered.y_at(64), rel=1e-9)
+
+    def test_distributed_flops_are_one_over_k(self, fig):
+        gathered = fig.series_by_label("gathered score+context FLOPs/rank/step")
+        distributed = fig.series_by_label("distributed score+context FLOPs/rank/step")
+        for t in (64, 128, 256, 512):
+            assert distributed.y_at(t) == pytest.approx(gathered.y_at(t) / 4, rel=1e-9)
+
+    def test_crossover_annotated(self, fig):
+        assert any("crossover" in note for note in fig.notes)
+
+
 class TestMemoryTradeoffTable:
     @pytest.fixture(scope="class")
     def fig(self):

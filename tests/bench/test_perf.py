@@ -162,3 +162,58 @@ class TestRegressionGate:
         """Pre-overlap baselines/payloads must not trip the new invariants."""
         baseline = self.write_baseline(tmp_path, ratio=10.0)
         assert perf.check_regression(self.payload(9.0), "quick", baseline) == []
+
+
+class TestDecodeAttentionGate:
+    def payload(self, combine=1000, gather_steps=None, combine_steps=None):
+        payload = {"derived": {"cached_decode_speedup_vs_legacy": 10.0,
+                               "cached_decode_peak_drop_vs_legacy": 5.0}}
+        derived = payload["derived"]
+        derived["voltage_decode_combine_bytes"] = combine
+        if gather_steps is not None:
+            derived["voltage_decode_per_step_gather_bytes"] = gather_steps
+        if combine_steps is not None:
+            derived["voltage_decode_per_step_combine_bytes"] = combine_steps
+        return payload
+
+    def write_baseline(self, tmp_path, combine=1000):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"schema": perf.SCHEMA, "modes": {"quick": self.payload(combine)}}
+        ))
+        return path
+
+    def test_matching_combine_bytes_pass(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, combine=1000)
+        assert perf.check_regression(self.payload(1000), "quick", baseline) == []
+
+    def test_changed_combine_bytes_fail_exactly(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, combine=1000)
+        errors = perf.check_regression(self.payload(1001), "quick", baseline)
+        assert errors and "combine bytes" in errors[0]
+
+    def test_flat_combine_profile_passes(self, tmp_path):
+        baseline = self.write_baseline(tmp_path)
+        payload = self.payload(
+            combine_steps=[900, 64, 64, 64], gather_steps=[900, 100, 110, 120]
+        )
+        assert perf.check_regression(payload, "quick", baseline) == []
+
+    def test_growing_combine_profile_fails(self, tmp_path):
+        """The whole point of the mode: decode-step combine bytes may not
+        grow with the context (step 0, the prefill, is exempt)."""
+        baseline = self.write_baseline(tmp_path)
+        payload = self.payload(combine_steps=[900, 64, 66, 68])
+        errors = perf.check_regression(payload, "quick", baseline)
+        assert errors and "not flat" in errors[0]
+
+    def test_flat_gather_profile_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path)
+        payload = self.payload(gather_steps=[900, 100, 100, 100])
+        errors = perf.check_regression(payload, "quick", baseline)
+        assert errors and "grow" in errors[0]
+
+    def test_payload_without_decode_attn_fields_still_validates(self, tmp_path):
+        baseline = self.write_baseline(tmp_path)
+        minimal = {"derived": {"cached_decode_speedup_vs_legacy": 10.0}}
+        assert perf.check_regression(minimal, "quick", baseline) == []

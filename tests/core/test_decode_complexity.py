@@ -7,10 +7,17 @@ import numpy as np
 import pytest
 
 from repro.core.complexity import (
+    DECODE_ATTENTION_MODES,
+    DECODE_MODE_COSTS,
     EQ3,
+    decode_attention_crossover_length,
+    decode_combine_elements,
+    decode_comm_elements,
     decode_gamma_cached,
+    decode_gamma_local,
     decode_kv_gather_elements,
     decode_layer_flops,
+    decode_mode_cost,
     decode_order_switch_length,
     decode_step_flops,
     ffn_flops,
@@ -62,6 +69,87 @@ class TestDecodeGatherVolume:
     def test_rejects_zero_devices(self):
         with pytest.raises(ValueError):
             decode_kv_gather_elements(12, 4, 8, 0)
+
+
+class TestDecodeCombineVolume:
+    def test_closed_form(self):
+        heads, fh, k = 4, 8, 3
+        assert decode_combine_elements(heads, fh, k) == k * heads * (fh + 2)
+
+    def test_scales_with_new_positions(self):
+        heads, fh, k, p = 4, 8, 3, 7
+        assert decode_combine_elements(heads, fh, k, new_positions=p) == (
+            p * decode_combine_elements(heads, fh, k)
+        )
+
+    def test_flat_in_sequence_length(self):
+        heads, fh, k = 4, 8, 3
+        for t in (1, 64, 4096):
+            assert decode_comm_elements("distributed", t, heads, fh, k) == (
+                (k - 1) * heads * (fh + 2)
+            )
+
+    def test_gathered_mode_delegates(self):
+        t, heads, fh, k = 12, 4, 8, 3
+        assert decode_comm_elements("gathered", t, heads, fh, k) == (
+            decode_kv_gather_elements(t, heads, fh, k)
+        )
+
+    def test_crossover_length(self):
+        fh, k = 8, 4
+        crossover = decode_attention_crossover_length(fh, k)
+        assert crossover == pytest.approx(k * (fh + 2) / (2 * fh))
+        heads = 4
+        # just past the crossover the combine ships strictly fewer elements
+        t = int(math.ceil(crossover)) + 1
+        assert decode_comm_elements("distributed", t, heads, fh, k) < (
+            decode_comm_elements("gathered", t, heads, fh, k)
+        )
+
+    def test_crossover_infinite_single_device(self):
+        assert decode_attention_crossover_length(8, 1) == math.inf
+
+
+class TestDecodeModeCostTable:
+    def test_table_covers_every_mode(self):
+        assert set(DECODE_MODE_COSTS) == set(DECODE_ATTENTION_MODES)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mode"):
+            decode_mode_cost("ring")
+
+    def test_gathered_rank_flops_replicate_full_step(self):
+        t, layers, f, fh, heads, ffn = 9, 3, 32, 8, 4, 128
+        cost = decode_mode_cost("gathered")
+        assert cost.rank_flops(t, layers, f, fh, heads, ffn) == (
+            decode_step_flops(t, layers, f, fh, heads, ffn)
+        )
+
+    def test_distributed_rank_flops_scale_with_local_rows(self):
+        layers, f, fh, heads, ffn = 3, 32, 8, 4, 128
+        cost = decode_mode_cost("distributed")
+        per_head = decode_gamma_local(5, f, fh).matmul
+        expected = layers * (heads * per_head + heads * fh * f + ffn_flops(1, f, ffn))
+        assert cost.rank_flops(20, layers, f, fh, heads, ffn, local_rows=5) == expected
+        # the score/context term is O(local_rows), not O(t)
+        grow = cost.rank_flops(20, layers, f, fh, heads, ffn, local_rows=10)
+        assert grow - expected == layers * heads * 2 * 5 * fh
+
+    def test_distributed_requires_local_rows(self):
+        cost = decode_mode_cost("distributed")
+        with pytest.raises(ValueError, match="local_rows"):
+            cost.rank_flops(20, 3, 32, 8, 4, 128)
+
+    def test_both_modes_use_cached_order(self):
+        for mode in DECODE_ATTENTION_MODES:
+            assert decode_mode_cost(mode).order(64, 32, 8) is EQ3
+
+    def test_comm_elements_route_through_mode(self):
+        t, heads, fh, k = 12, 4, 8, 3
+        for mode in DECODE_ATTENTION_MODES:
+            assert decode_mode_cost(mode).comm_elements(t, heads, fh, k) == (
+                decode_comm_elements(mode, t, heads, fh, k)
+            )
 
 
 class TestDecodeOrderChoice:

@@ -1,0 +1,210 @@
+"""Property tests for the log-sum-exp softmax combine (``repro.core.combine``).
+
+The distributed-attention decode path is exact only if the combine is: for
+*any* partition of the key rows into contiguous rank spans — including K=1,
+K greater than the number of rows, and empty spans — combining the per-span
+``(o, m, l)`` statistics must reproduce monolithic softmax attention up to
+float re-association.  These properties are what the per-layer
+``sharded_decode_step`` branch and the verify harness's closeness regime
+silently rely on.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combine import (
+    combine_softmax_stats,
+    local_softmax_stats,
+    neutral_softmax_stats,
+    pack_softmax_stats,
+    unpack_softmax_stats,
+)
+
+
+def _reference_attention(q, k, v, query_offset, causal=True):
+    """Monolithic softmax attention in float64 — the combine's ground truth."""
+    q64, k64, v64 = (np.asarray(a, dtype=np.float64) for a in (q, k, v))
+    scores = q64 @ k64.transpose(0, 2, 1) / math.sqrt(q.shape[-1])
+    if causal:
+        queries, rows = q.shape[1], k.shape[1]
+        q_pos = query_offset + np.arange(queries)[:, None]
+        k_pos = np.arange(rows)[None, :]
+        scores = np.where(k_pos > q_pos, -np.inf, scores)
+    m = np.max(scores, axis=-1, keepdims=True)
+    weights = np.exp(scores - m)
+    return (weights @ v64) / weights.sum(axis=-1, keepdims=True)
+
+
+def _partition_stats(q, k, v, boundaries, query_offset, causal=True):
+    """Per-span stats for the spans ``boundaries`` induces over the rows."""
+    stats = []
+    for start, stop in zip(boundaries[:-1], boundaries[1:]):
+        stats.append(
+            local_softmax_stats(
+                q, k[:, start:stop], v[:, start:stop],
+                shard_start=start, query_offset=query_offset, causal=causal,
+            )
+        )
+    return stats
+
+
+@st.composite
+def combine_cases(draw):
+    """Random geometry + a random contiguous partition of the key rows."""
+    heads = draw(st.integers(min_value=1, max_value=4))
+    head_dim = draw(st.integers(min_value=1, max_value=8))
+    rows = draw(st.integers(min_value=1, max_value=24))
+    devices = draw(st.integers(min_value=1, max_value=8))
+    # cut points may repeat: repeated cuts are empty spans, cuts at 0 or at
+    # ``rows`` leave a leading/trailing rank with nothing — all legal
+    cuts = sorted(
+        draw(
+            st.lists(
+                st.integers(min_value=0, max_value=rows),
+                min_size=devices - 1, max_size=devices - 1,
+            )
+        )
+    )
+    boundaries = [0, *cuts, rows]
+    queries = draw(st.integers(min_value=1, max_value=3))
+    # query block sits at the end of the sequence, as in a decode step
+    query_offset = rows - queries if rows >= queries else 0
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    return heads, head_dim, rows, boundaries, queries, query_offset, seed
+
+
+@settings(max_examples=200, deadline=None)
+@given(combine_cases())
+def test_combine_matches_monolithic_softmax(case):
+    """Any span partition (K=1, K>rows, empty spans) reproduces softmax."""
+    heads, head_dim, rows, boundaries, queries, query_offset, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(heads, queries, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+
+    stats = _partition_stats(q, k, v, boundaries, query_offset)
+    combined = combine_softmax_stats(stats)
+    reference = _reference_attention(q, k, v, query_offset)
+    np.testing.assert_allclose(combined, reference, rtol=1e-5, atol=1e-6)
+    assert np.all(np.isfinite(combined))
+
+
+@settings(max_examples=100, deadline=None)
+@given(combine_cases())
+def test_single_span_is_exact_local_attention(case):
+    """K=1 (no partition at all) must equal the local stats normalised."""
+    heads, head_dim, rows, _, queries, query_offset, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(heads, queries, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+
+    whole = combine_softmax_stats(
+        _partition_stats(q, k, v, [0, rows], query_offset)
+    )
+    reference = _reference_attention(q, k, v, query_offset)
+    np.testing.assert_allclose(whole, reference, rtol=1e-5, atol=1e-6)
+
+
+@settings(max_examples=100, deadline=None)
+@given(combine_cases())
+def test_neutral_stats_are_the_identity(case):
+    """Interleaving neutral (empty-shard) stats never changes the result."""
+    heads, head_dim, rows, boundaries, queries, query_offset, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(heads, queries, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+
+    stats = _partition_stats(q, k, v, boundaries, query_offset)
+    neutral = neutral_softmax_stats(heads, queries, head_dim)
+    padded = [neutral, *stats, neutral]
+    np.testing.assert_array_equal(
+        combine_softmax_stats(padded), combine_softmax_stats(stats)
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(combine_cases())
+def test_combine_is_arrival_order_invariant_given_rank_order(case):
+    """The reduction is a deterministic function of the rank-ordered stats:
+    recombining the identical sequence twice is bit-identical, and packing
+    through the wire layout does not perturb it."""
+    heads, head_dim, rows, boundaries, queries, query_offset, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(heads, queries, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+
+    stats = _partition_stats(q, k, v, boundaries, query_offset)
+    first = combine_softmax_stats(stats)
+    again = combine_softmax_stats(stats)
+    np.testing.assert_array_equal(first, again)
+
+    # a rank receiving the packed frames (in rank order, as an all-gather
+    # delivers them) reconstructs the same stats and the same output
+    round_tripped = [unpack_softmax_stats(pack_softmax_stats(*s)) for s in stats]
+    np.testing.assert_array_equal(combine_softmax_stats(round_tripped), first)
+
+
+@settings(max_examples=60, deadline=None)
+@given(combine_cases())
+def test_float16_wire_stays_within_decode_closeness(case):
+    """Stats rounded to float16 on the wire (then upcast, as the runtime
+    does) stay within the float16 decode closeness band of the float64
+    reference."""
+    heads, head_dim, rows, boundaries, queries, query_offset, seed = case
+    rng = np.random.default_rng(seed)
+    q = rng.normal(size=(heads, queries, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+
+    stats = _partition_stats(q, k, v, boundaries, query_offset)
+    wire_stats = [
+        tuple(np.asarray(a, dtype=np.float16).astype(np.float32) for a in s)
+        for s in stats
+    ]
+    combined = combine_softmax_stats(wire_stats)
+    reference = _reference_attention(q, k, v, query_offset)
+    # the float16 decode closeness bound (repro.verify.tolerances), scale 1
+    np.testing.assert_allclose(combined, reference, rtol=1e-2, atol=2e-2)
+
+
+def test_k_greater_than_rows_trailing_spans_empty():
+    """8 ranks over 3 rows: five ranks are pure neutral and the combine is
+    still exact."""
+    heads, head_dim, rows = 2, 4, 3
+    rng = np.random.default_rng(7)
+    q = rng.normal(size=(heads, 1, head_dim)).astype(np.float32)
+    k = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    v = rng.normal(size=(heads, rows, head_dim)).astype(np.float32)
+    boundaries = [0, 1, 2, 3, 3, 3, 3, 3, 3]  # 8 spans, 5 empty
+    stats = _partition_stats(q, k, v, boundaries, query_offset=rows - 1)
+    assert sum(1 for o, m, _ in stats if not np.any(np.isfinite(m))) == 5
+    combined = combine_softmax_stats(stats)
+    reference = _reference_attention(q, k, v, query_offset=rows - 1)
+    np.testing.assert_allclose(combined, reference, rtol=1e-5, atol=1e-6)
+
+
+def test_combine_rejects_empty_sequence():
+    with pytest.raises(ValueError):
+        combine_softmax_stats([])
+
+
+def test_unpack_rejects_bad_shapes():
+    with pytest.raises(ValueError):
+        unpack_softmax_stats(np.zeros((2, 3)))
+    with pytest.raises(ValueError):
+        unpack_softmax_stats(np.zeros((2, 3, 2)))
+
+
+def test_all_neutral_combine_is_zero_not_nan():
+    """Partial-coverage misuse (every span neutral) stays NaN-free."""
+    neutral = [neutral_softmax_stats(2, 3, 4) for _ in range(3)]
+    combined = combine_softmax_stats(neutral)
+    np.testing.assert_array_equal(combined, np.zeros((2, 3, 4), dtype=np.float32))

@@ -86,6 +86,45 @@ class TestDecodeSoak:
             check_bit_identity(report, sequencer, requests)
 
 
+class TestDistributedAttentionSequencer:
+    def test_threaded_soak_matches_offline_reference(self, system):
+        """The engine's interleaving with local-shard attention + combine:
+        every completed output equals the offline single-device decode (the
+        fixtures' logit gaps dwarf the combine's re-association noise)."""
+        with VoltageDecodeSequencer(
+            system, max_new_tokens=4, step_cost=constant_step_cost,
+            attention="distributed",
+        ) as sequencer:
+            config = EngineConfig(
+                num_slots=2, chaos_preempt_period=5, chaos_max_preemptions=1, chaos_seed=11
+            )
+            engine = InferenceEngine(sequencer, config)
+            requests = [
+                r.with_slo(slo=60.0)
+                for r in bursty_arrivals(
+                    bursts=1, burst_size=6, burst_gap=0.005, n_tokens=(3, 8)
+                )
+            ]
+            report = engine.run(requests)
+            assert len(report.completed) == len(requests) == 6
+            check_bit_identity(report, sequencer, requests)
+
+    def test_process_single_request(self, system):
+        with VoltageDecodeSequencer(
+            system, max_new_tokens=3, runtime="process", attention="distributed"
+        ) as sequencer:
+            engine = InferenceEngine(sequencer, EngineConfig(num_slots=1))
+            request = Request(arrival=0.0, n=5, id=4)
+            report = engine.run([request])
+            np.testing.assert_array_equal(
+                report.outputs()[4], sequencer.offline_reference(request)
+            )
+
+    def test_rejects_unknown_attention(self, system):
+        with pytest.raises(ValueError, match="attention"):
+            DecodeSession(system, attention="ring")
+
+
 class TestDecodeSequencerContract:
     def test_single_request_matches_generate_cached(self, system):
         with VoltageDecodeSequencer(system, max_new_tokens=4) as sequencer:
