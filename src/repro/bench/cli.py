@@ -19,6 +19,9 @@ Usage::
     voltage-bench perf --quick --check  # CI smoke lane with regression gate
     voltage-bench serve             # online engine offered-load sweep -> BENCH_serve.json
     voltage-bench serve --quick --check # CI soak lane with baseline gate
+    voltage-bench fleet             # multi-replica router/autoscale sweep -> BENCH_fleet.json
+    voltage-bench fleet --workload bursts   # replay a different registered trace
+    voltage-bench fleet --list-traces       # show the workload trace registry
 
 Any invocation accepts ``--trace OUT.json`` to capture the run as a Chrome
 ``trace_event`` timeline (open in Perfetto / ``chrome://tracing``): every
@@ -217,6 +220,66 @@ def _run_serve(args) -> int:
     return 1 if failures else 0
 
 
+def _run_fleet(args) -> int:
+    """Multi-replica routing + autoscaling sweep (``repro.bench.fleet``)."""
+    from repro.bench import fleet as fleet_bench
+    from repro.bench.harness import format_aligned
+    from repro.fleet import get_trace_spec, trace_names
+
+    if args.list_traces:
+        print("registered workload traces:")
+        for label in trace_names():
+            spec = get_trace_spec(label)
+            print(f"  {label:>16s}  {spec.description}")
+        return 0
+
+    mode = "quick" if args.quick else "full"
+    print(
+        f"fleet: running {mode} policy sweep on trace {args.workload!r} "
+        "(virtual time, deterministic) ..."
+    )
+    payload = fleet_bench.run_fleet_sweep(
+        quick=args.quick, seed=args.seed, trace_ref=args.workload
+    )
+
+    rows = [["policy", "p50", "p99", "shed", "miss", "peak", "mean repl"]]
+    for point in payload["sweep"]:
+        p50, p99 = point["p50_latency_s"], point["p99_latency_s"]
+        rows.append([
+            point["policy"],
+            f"{p50 * 1e3:.0f} ms" if p50 is not None else "-",
+            f"{p99 * 1e3:.0f} ms" if p99 is not None else "-",
+            f"{point['shed_rate']:.0%}",
+            f"{point['deadline_miss_rate']:.0%}",
+            f"{point['peak_replicas']}",
+            f"{point['mean_replicas']:.2f}",
+        ])
+    print(format_aligned(rows))
+    autoscale = payload["autoscale"]
+    fixed, auto = autoscale["fixed"], autoscale["autoscaled"]
+    print(
+        f"autoscale demo ({autoscale['trace']}, bound "
+        f"{autoscale['latency_bound_s']:.3f}s): fixed 1 replica sheds "
+        f"{fixed['shed_rate']:.0%} / misses {fixed['deadline_miss_rate']:.0%}; "
+        f"autoscaled (peak {auto['peak_replicas']}) sheds {auto['shed_rate']:.0%}, "
+        f"p99 {auto['p99_latency_s']:.3f}s "
+        f"({'holds' if autoscale['autoscaled_bound_held'] else 'VIOLATES'} bound)"
+    )
+
+    output = args.output or Path("BENCH_fleet.json")
+    baseline = args.baseline or Path("BENCH_fleet.json")
+    failures = []
+    if args.check:
+        failures = fleet_bench.check_regression(payload, mode, baseline)
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print(f"check: within tolerance of {baseline}")
+    fleet_bench.emit_report(payload, mode, output)
+    print(f"report: {output} (mode {mode!r})")
+    return 1 if failures else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="voltage-bench",
@@ -225,7 +288,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "target",
         choices=["fig4", "fig5", "fig6", "comm", "ablations", "serving", "profile",
-                 "headline", "verify", "perf", "serve", "all"],
+                 "headline", "verify", "perf", "serve", "fleet", "all"],
         help="which experiment to run",
     )
     parser.add_argument("--layers", type=int, default=4,
@@ -263,15 +326,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="verify: pin the decode attention mode on every decoding "
                              "scenario (default: let each seed draw it)")
     parser.add_argument("--quick", action="store_true",
-                        help="perf/serve: smaller workloads for the CI smoke lane")
+                        help="perf/serve/fleet: smaller workloads for the CI smoke lane")
     parser.add_argument("--check", action="store_true",
-                        help="perf/serve: fail if results regress vs the committed baseline")
+                        help="perf/serve/fleet: fail if results regress vs the committed baseline")
     parser.add_argument("--output", type=Path, default=None,
-                        help="perf/serve: report file to write/merge "
-                             "(default BENCH_perf.json / BENCH_serve.json)")
+                        help="perf/serve/fleet: report file to write/merge "
+                             "(default BENCH_perf.json / BENCH_serve.json / BENCH_fleet.json)")
     parser.add_argument("--baseline", type=Path, default=None,
-                        help="perf/serve: committed baseline to --check against "
+                        help="perf/serve/fleet: committed baseline to --check against "
                              "(defaults to the report file)")
+    parser.add_argument("--workload", default="diurnal", metavar="TRACE",
+                        help="fleet: registered workload trace to replay, 'name' or "
+                             "'name@vN' (default diurnal)")
+    parser.add_argument("--list-traces", action="store_true",
+                        help="fleet: list the workload trace registry and exit")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="fleet: trace/weights/router seed (default 0)")
     args = parser.parse_args(argv)
     if args.target == "verify":
         return _run_verify(args)
@@ -279,6 +349,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_perf(args)
     if args.target == "serve":
         return _run_serve(args)
+    if args.target == "fleet":
+        return _run_fleet(args)
     if args.trace is not None and (not args.trace.name or args.trace.is_dir()):
         parser.error("--trace requires an output file path, e.g. --trace out.json")
 
@@ -307,6 +379,7 @@ def main(argv: list[str] | None = None) -> int:
             _emit(figures.ablation_comm_precision(), args.json)
             _emit(figures.ablation_overlap(), args.json)
             _emit(figures.ablation_decode_attention(), args.json)
+            _emit(figures.fleet_autoscale_timeline(), args.json)
         if args.target in ("serving", "all"):
             _emit(figures.serving_tail_latency(), args.json)
         if args.target == "profile":

@@ -40,6 +40,7 @@ __all__ = [
     "ablation_dynamic_schemes",
     "efficient_attention_comm_table",
     "serving_tail_latency",
+    "fleet_autoscale_timeline",
     "ablation_comm_precision",
     "ablation_overlap",
     "ablation_decode_attention",
@@ -636,6 +637,45 @@ def serving_tail_latency(
             series[name].add(rate, server.run(requests).p95_latency)
     fig.series = list(series.values())
     fig.notes.append(f"{num_requests} requests per point, N={workload.n}")
+    return fig
+
+
+def fleet_autoscale_timeline(seed: int = 0) -> FigureResult:
+    """Autoscaler control timeline on the diurnal trace (ours).
+
+    Plots the live replica count against the offered load expressed in
+    *replica-equivalents* (windowed arrival rate × mean service time): the
+    fleet should track the diurnal demand curve with a small lag — up fast
+    under the morning ramp, down slowly (cooldown-limited) after the peak.
+    """
+    from repro.bench.fleet import run_single_fleet
+
+    report, trace, service_s = run_single_fleet(quick=True, seed=seed)
+    fig = FigureResult(
+        name="fleet_autoscale",
+        title="Fleet autoscaling vs diurnal offered load",
+        xlabel="virtual time (s)",
+        ylabel="replicas (live / demanded)",
+    )
+    live = Series("live replicas")
+    for t, count in report.timeline:
+        live.add(t, count)
+    if report.timeline:
+        live.add(report.end_time, report.timeline[-1][1])
+
+    demand = Series("offered load (replica-equivalents)")
+    window = 8 * service_s
+    arrivals = [r.arrival for r in trace.requests]
+    t = 0.0
+    while t < report.end_time:
+        count = sum(1 for a in arrivals if t <= a < t + window)
+        demand.add(t + window / 2, count / window * service_s)
+        t += window
+    fig.series = [demand, live]
+    fig.notes.append(
+        f"{len(trace)} requests ({trace.label}), least-loaded routing, "
+        f"{len(report.scale_events)} scale events, shed {report.shed_rate:.1%}"
+    )
     return fig
 
 

@@ -22,13 +22,26 @@ Time comes from a pluggable clock: deterministic accelerated virtual time
 Everything the loop does is observable: queue-depth / slot-occupancy
 gauges, shed and preemption counters, per-request spans on the ``engine``
 trace track.
+
+Two driving modes share the same loop body:
+
+- :meth:`InferenceEngine.run` replays a complete arrival stream to drain —
+  the original one-shot surface, bit-identical to what it always did;
+- the **stream API** (:meth:`open_stream` / :meth:`offer` / :meth:`pump` /
+  :meth:`close_stream`) exposes the identical loop incrementally, bounded
+  by a virtual-time horizon, so an external co-simulator (``repro.fleet``)
+  can interleave many engines in one global virtual timeline: advance each
+  replica to the next event, observe its queue/slot gauges, route new
+  arrivals, repeat.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import time
 from collections.abc import Callable, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -160,24 +173,58 @@ class _Lifecycle:
     steps: int = 0
 
 
+@dataclass
+class _Stream:
+    """Mutable state of one open request stream (one run, possibly incremental)."""
+
+    scheduler: Scheduler
+    report: EngineReport
+    chaos_rng: np.random.Generator | None
+    lifecycles: dict[int, _Lifecycle] = field(default_factory=dict)
+    active: list[_Flight] = field(default_factory=list)
+    pending: list[tuple] = field(default_factory=list)  # heap of (arrival, tie, request)
+    prompts: dict[int, np.ndarray] = field(default_factory=dict)
+    tie: itertools.count = field(default_factory=itertools.count)
+    first_arrival: float | None = None
+    shed_seen: int = 0
+    last_chaos_step: int = 0
+
+
 class InferenceEngine:
     """Replays an arrival stream through a sequencer under one scheduler.
 
     The slot pool persists across :meth:`run` calls (its buffers are the
     expensive part); the scheduler is rebuilt per run so shed records and
     queue state never leak between runs.
+
+    ``labels`` (optional) tag every metric the engine records — e.g.
+    ``labels={"replica": "r0"}`` yields ``engine.queue_depth{replica=r0}``
+    — so a fleet of engines sharing one registry stays distinguishable.
     """
 
-    def __init__(self, sequencer, config: EngineConfig | None = None, clock=None):
+    def __init__(
+        self,
+        sequencer,
+        config: EngineConfig | None = None,
+        clock=None,
+        labels: dict[str, str] | None = None,
+    ):
         self.sequencer = sequencer
         self.config = config if config is not None else EngineConfig()
         self.clock = clock if clock is not None else VirtualClock()
+        self.labels = dict(labels) if labels else {}
+        self._track = (
+            "engine"
+            if not self.labels
+            else "engine[" + ",".join(f"{k}={v}" for k, v in sorted(self.labels.items())) + "]"
+        )
         self.pool = SlotPool(
             self.config.num_slots,
             num_layers=sequencer.num_layers,
             capacity=sequencer.slot_capacity,
         )
         self.scheduler: Scheduler | None = None  # set per run
+        self._stream: _Stream | None = None
 
     def _new_scheduler(self) -> Scheduler:
         config = self.config
@@ -188,7 +235,85 @@ class InferenceEngine:
             service_estimate=config.service_estimate,
         )
 
-    # -- the worker loop -------------------------------------------------------
+    # -- observable load (what a router / autoscaler reads) --------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet holding a slot (0 when no stream)."""
+        return self._stream.scheduler.depth if self._stream is not None else 0
+
+    @property
+    def slots_in_use(self) -> int:
+        return self.pool.in_use
+
+    @property
+    def pending_arrivals(self) -> int:
+        """Offered requests whose arrival time the clock has not reached."""
+        return len(self._stream.pending) if self._stream is not None else 0
+
+    @property
+    def idle(self) -> bool:
+        """No queued, in-flight, or future work on the open stream."""
+        s = self._stream
+        return s is None or (not s.pending and not s.active and s.scheduler.depth == 0)
+
+    # -- the incremental stream surface ----------------------------------------
+
+    def open_stream(self) -> None:
+        """Begin an incremental run: requests arrive via :meth:`offer`, time
+        advances via :meth:`pump`, and :meth:`close_stream` yields the report."""
+        if self._stream is not None:
+            raise RuntimeError("a stream is already open on this engine")
+        config = self.config
+        scheduler = self.scheduler = self._new_scheduler()
+        report = EngineReport(completed=[], shed=scheduler.shed, num_slots=self.pool.num_slots)
+        self._stream = _Stream(
+            scheduler=scheduler,
+            report=report,
+            chaos_rng=(
+                np.random.default_rng(config.chaos_seed)
+                if config.chaos_preempt_period is not None
+                else None
+            ),
+        )
+
+    def offer(self, request: Request, prompt: np.ndarray | None = None) -> None:
+        """Hand one request to the open stream (admitted on the next pump)."""
+        s = self._require_stream()
+        if request.id in s.lifecycles:
+            raise ValueError(
+                f"request ids must be unique within one engine run (saw {request.id} twice)"
+            )
+        s.lifecycles[request.id] = _Lifecycle()
+        heapq.heappush(s.pending, (request.arrival, next(s.tie), request))
+        if prompt is not None:
+            s.prompts[request.id] = prompt
+        if s.first_arrival is None or request.arrival < s.first_arrival:
+            s.first_arrival = request.arrival
+
+    def pump(self, until: float | None = None) -> None:
+        """Advance the open stream: to drain (``until=None``) or until the
+        clock reaches the virtual-time horizon ``until``.
+
+        With a horizon, an idle engine jumps its clock straight to ``until``
+        (replicas stay mutually consistent in fleet co-simulation); a busy
+        engine steps until a token step carries it past the horizon — steps
+        are atomic, so the clock may overshoot by part of one step.
+        """
+        self._run_loop(self._require_stream(), until)
+
+    def close_stream(self) -> EngineReport:
+        """Finish the open stream (draining any remaining work) and report."""
+        s = self._require_stream()
+        self._run_loop(s, None)
+        return self._finalise(s)
+
+    def _require_stream(self) -> _Stream:
+        if self._stream is None:
+            raise RuntimeError("no open stream: call open_stream() first")
+        return self._stream
+
+    # -- the one-shot surface --------------------------------------------------
 
     def run(
         self,
@@ -206,38 +331,37 @@ class InferenceEngine:
         if len(set(ids)) != len(ids):
             raise ValueError("request ids must be unique within one engine run")
         prompts = prompts if prompts is not None else {}
+        tracer = current_tracer()
+        self.open_stream()
+        s = self._stream
+        for request in order:
+            self.offer(request, prompts.get(request.id))
+        with tracer.span("engine.run", cat="engine", kind="request", track="engine-wall"):
+            self._run_loop(s, None)
+        return self._finalise(s)
+
+    # -- the worker loop -------------------------------------------------------
+
+    def _run_loop(self, s: _Stream, until: float | None) -> None:
         config, clock, pool = self.config, self.clock, self.pool
-        scheduler = self.scheduler = self._new_scheduler()
+        scheduler, report, active = s.scheduler, s.report, s.active
+        lifecycles = s.lifecycles
         registry = get_registry()
         tracer = current_tracer()
-        queue_gauge = registry.gauge("engine.queue_depth")
-        slots_gauge = registry.gauge("engine.slots_in_use")
-        chaos_rng = (
-            np.random.default_rng(config.chaos_seed)
-            if config.chaos_preempt_period is not None
-            else None
-        )
-
-        lifecycles: dict[int, _Lifecycle] = {r.id: _Lifecycle() for r in order}
-        active: list[_Flight] = []
-        completed: list[CompletedRequest] = []
-        shed_seen = 0
-        last_chaos_step = 0
-        next_arrival = 0
-        first_arrival = order[0].arrival if order else 0.0
-        report = EngineReport(completed=completed, shed=scheduler.shed, num_slots=pool.num_slots)
+        labels = self.labels
+        queue_gauge = registry.gauge("engine.queue_depth", **labels)
+        slots_gauge = registry.gauge("engine.slots_in_use", **labels)
 
         def record_shed() -> None:
-            nonlocal shed_seen
-            for record in scheduler.shed[shed_seen:]:
-                registry.counter("engine.shed_total", reason=record.reason).inc()
+            for record in scheduler.shed[s.shed_seen:]:
+                registry.counter("engine.shed_total", reason=record.reason, **labels).inc()
                 if tracer.enabled:
                     tracer.record_at(
                         f"shed request {record.request.id}", cat="engine", kind="other",
-                        start_s=record.time, duration_s=0.0, track="engine",
+                        start_s=record.time, duration_s=0.0, track=self._track,
                         reason=record.reason,
                     )
-            shed_seen = len(scheduler.shed)
+            s.shed_seen = len(scheduler.shed)
 
         def preempt(flight: _Flight) -> None:
             active.remove(flight)
@@ -245,7 +369,7 @@ class InferenceEngine:
             scheduler.requeue(flight.request)
             lifecycles[flight.request.id].preemptions += 1
             report.preemptions_total += 1
-            registry.counter("engine.preemptions_total").inc()
+            registry.counter("engine.preemptions_total", **labels).inc()
 
         def finish(flight: _Flight, now: float) -> None:
             output = self.sequencer.result(flight.state)
@@ -261,112 +385,124 @@ class InferenceEngine:
                 preemptions=life.preemptions,
                 slot_index=flight.slot.index,
             )
-            completed.append(record)
-            registry.counter("engine.completed_total").inc()
-            registry.histogram("engine.latency_seconds").observe(record.latency)
+            report.completed.append(record)
+            registry.counter("engine.completed_total", **labels).inc()
+            registry.histogram("engine.latency_seconds", **labels).observe(record.latency)
             if tracer.enabled:
                 tracer.record_at(
                     f"request {flight.request.id}", cat="engine", kind="service",
                     start_s=record.start, duration_s=record.finish - record.start,
-                    track="engine", arrival=flight.request.arrival,
+                    track=self._track, arrival=flight.request.arrival,
                     preemptions=record.preemptions, steps=record.steps,
                 )
 
-        with tracer.span("engine.run", cat="engine", kind="request", track="engine-wall"):
-            while True:
-                progressed = False
-                now = clock.now()
+        while True:
+            progressed = False
+            now = clock.now()
+            if until is not None and now >= until:
+                return
 
-                # 1. admit everything that has arrived
-                while next_arrival < len(order) and order[next_arrival].arrival <= now:
-                    scheduler.submit(order[next_arrival], now)
-                    next_arrival += 1
-                    progressed = True
-                record_shed()
+            # 1. admit everything that has arrived
+            while s.pending and s.pending[0][0] <= now:
+                _, _, request = heapq.heappop(s.pending)
+                scheduler.submit(request, now)
+                progressed = True
+            record_shed()
 
-                # 2. priority preemption: a queued request outranks a runner
-                if config.preemptive and active and pool.num_free == 0:
-                    best = scheduler.best_waiting_priority()
-                    if best is not None:
-                        victim = min(
-                            active,
-                            key=lambda f: (f.request.priority, -f.request.arrival, -f.request.id),
-                        )
-                        if victim.request.priority < best:
-                            preempt(victim)
-                            progressed = True
-
-                # 3. fill free slots in policy order
-                while pool.num_free > 0:
-                    request = scheduler.next_ready(now)
-                    if request is None:
-                        break
-                    slot = pool.acquire()
-                    prompt = prompts.get(request.id)
-                    if prompt is None:
-                        prompt = self.sequencer.prompt_for(request)
-                    state = self.sequencer.begin(request, prompt, slot)
-                    life = lifecycles[request.id]
-                    if life.first_start is None:
-                        life.first_start = now
-                    active.append(_Flight(state=state, request=request, slot=slot))
-                    progressed = True
-                record_shed()
-                queue_gauge.set(scheduler.depth)
-                slots_gauge.set(pool.in_use)
-
-                # 4. one token step for every in-flight request
-                if active:
-                    # chaos hook: force a (seeded) preemption to prove restart
-                    # correctness under adversarial scheduling; the per-request
-                    # cap keeps the redone work finite, so runs always end
-                    if (
-                        chaos_rng is not None
-                        and report.steps_total > 0
-                        and report.steps_total % config.chaos_preempt_period == 0
-                        and report.steps_total != last_chaos_step
-                    ):
-                        last_chaos_step = report.steps_total
-                        eligible = [
-                            f for f in active
-                            if lifecycles[f.request.id].preemptions
-                            < config.chaos_max_preemptions
-                        ]
-                        if eligible:
-                            preempt(eligible[int(chaos_rng.integers(len(eligible)))])
-                    for flight in list(active):
-                        in_use = pool.in_use
-                        began = time.perf_counter()
-                        done, cost = self.sequencer.step(flight.state)
-                        elapsed = (
-                            cost if cost is not None else time.perf_counter() - began
-                        )
-                        clock.advance(elapsed)
-                        flight.steps += 1
-                        lifecycles[flight.request.id].steps += 1
-                        report.steps_total += 1
-                        report.slot_seconds += elapsed * in_use
-                        if done:
-                            finish(flight, clock.now())
-                    progressed = True
-                elif next_arrival < len(order):
-                    clock.wait_until(order[next_arrival].arrival)
-                    progressed = True
-                elif scheduler.depth == 0:
-                    break  # stream drained, queue empty, nothing in flight
-
-                if not progressed:
-                    raise EngineStalledError(
-                        f"engine stalled at t={now:.6f}: queue={scheduler.depth}, "
-                        f"active={len(active)}, free slots={pool.num_free}"
+            # 2. priority preemption: a queued request outranks a runner
+            if config.preemptive and active and pool.num_free == 0:
+                best = scheduler.best_waiting_priority()
+                if best is not None:
+                    victim = min(
+                        active,
+                        key=lambda f: (f.request.priority, -f.request.arrival, -f.request.id),
                     )
+                    if victim.request.priority < best:
+                        preempt(victim)
+                        progressed = True
 
-        registry.counter("engine.steps_total").inc(report.steps_total)
+            # 3. fill free slots in policy order
+            while pool.num_free > 0:
+                request = scheduler.next_ready(now)
+                if request is None:
+                    break
+                slot = pool.acquire()
+                prompt = s.prompts.get(request.id)
+                if prompt is None:
+                    prompt = self.sequencer.prompt_for(request)
+                state = self.sequencer.begin(request, prompt, slot)
+                life = lifecycles[request.id]
+                if life.first_start is None:
+                    life.first_start = now
+                active.append(_Flight(state=state, request=request, slot=slot))
+                progressed = True
+            record_shed()
+            queue_gauge.set(scheduler.depth)
+            slots_gauge.set(pool.in_use)
+
+            # 4. one token step for every in-flight request
+            if active:
+                # chaos hook: force a (seeded) preemption to prove restart
+                # correctness under adversarial scheduling; the per-request
+                # cap keeps the redone work finite, so runs always end
+                if (
+                    s.chaos_rng is not None
+                    and report.steps_total > 0
+                    and report.steps_total % config.chaos_preempt_period == 0
+                    and report.steps_total != s.last_chaos_step
+                ):
+                    s.last_chaos_step = report.steps_total
+                    eligible = [
+                        f for f in active
+                        if lifecycles[f.request.id].preemptions
+                        < config.chaos_max_preemptions
+                    ]
+                    if eligible:
+                        preempt(eligible[int(s.chaos_rng.integers(len(eligible)))])
+                for flight in list(active):
+                    in_use = pool.in_use
+                    began = time.perf_counter()
+                    done, cost = self.sequencer.step(flight.state)
+                    elapsed = (
+                        cost if cost is not None else time.perf_counter() - began
+                    )
+                    clock.advance(elapsed)
+                    flight.steps += 1
+                    lifecycles[flight.request.id].steps += 1
+                    report.steps_total += 1
+                    report.slot_seconds += elapsed * in_use
+                    if done:
+                        finish(flight, clock.now())
+                progressed = True
+            elif s.pending:
+                next_arrival = s.pending[0][0]
+                if until is not None and next_arrival > until:
+                    clock.wait_until(until)
+                    return
+                clock.wait_until(next_arrival)
+                progressed = True
+            elif scheduler.depth == 0:
+                if until is not None:
+                    clock.wait_until(until)  # drained: idle through the horizon
+                return
+
+            if not progressed:
+                raise EngineStalledError(
+                    f"engine stalled at t={now:.6f}: queue={scheduler.depth}, "
+                    f"active={len(active)}, free slots={pool.num_free}"
+                )
+
+    def _finalise(self, s: _Stream) -> EngineReport:
+        registry = get_registry()
+        report = s.report
+        registry.counter("engine.steps_total", **self.labels).inc(report.steps_total)
+        first_arrival = s.first_arrival if s.first_arrival is not None else 0.0
         end = max(
-            [c.finish for c in completed] + [s.time for s in scheduler.shed],
+            [c.finish for c in report.completed] + [r.time for r in s.scheduler.shed],
             default=first_arrival,
         )
         report.makespan = end - first_arrival
-        queue_gauge.set(0)
-        slots_gauge.set(0)
+        registry.gauge("engine.queue_depth", **self.labels).set(0)
+        registry.gauge("engine.slots_in_use", **self.labels).set(0)
+        self._stream = None
         return report

@@ -14,7 +14,13 @@ from dataclasses import dataclass, field, replace
 
 import numpy as np
 
-__all__ = ["Request", "uniform_arrivals", "poisson_arrivals", "bursty_arrivals"]
+__all__ = [
+    "Request",
+    "uniform_arrivals",
+    "poisson_arrivals",
+    "bursty_arrivals",
+    "heavy_tail_arrivals",
+]
 
 
 @dataclass(frozen=True, order=True)
@@ -26,7 +32,9 @@ class Request:
     online engine's scheduler and by the deadline-miss accounting of
     :class:`~repro.serving.stats.ServingStats`; both default to no-ops and
     are excluded from ordering so arrival-sorted streams behave exactly as
-    before.
+    before.  ``tenant`` optionally names the traffic source (multi-tenant
+    traces; the fleet's session-affinity router hashes it) and is likewise
+    excluded from ordering.
     """
 
     arrival: float
@@ -34,6 +42,7 @@ class Request:
     id: int = 0
     deadline: float | None = field(default=None, compare=False)
     priority: int = field(default=0, compare=False)
+    tenant: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.arrival < 0:
@@ -126,3 +135,41 @@ def bursty_arrivals(
             )
             index += 1
     return requests
+
+
+def heavy_tail_arrivals(
+    count: int,
+    rate: float,
+    median_tokens: int = 32,
+    sigma: float = 0.8,
+    max_tokens: int = 1024,
+    seed: int = 0,
+) -> list[Request]:
+    """Poisson arrivals with lognormal (heavy-tailed) prompt lengths.
+
+    Real prompt-length distributions are right-skewed: most requests are
+    short, a few are very long and dominate service time.  Lengths are drawn
+    ``round(exp(N(ln median, sigma²)))`` and clipped to ``[1, max_tokens]``,
+    so ``median_tokens`` is the distribution's median and ``sigma`` controls
+    how heavy the tail is (0 collapses to the constant ``median_tokens``).
+    """
+    if count < 1 or rate <= 0:
+        raise ValueError(f"need count >= 1 and rate > 0, got {count}, {rate}")
+    if median_tokens < 1 or not (1 <= median_tokens <= max_tokens):
+        raise ValueError(
+            f"need 1 <= median_tokens <= max_tokens, got {median_tokens}, {max_tokens}"
+        )
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate, size=count)
+    times = np.cumsum(gaps)
+    lengths = np.clip(
+        np.round(rng.lognormal(mean=np.log(median_tokens), sigma=sigma, size=count)),
+        1,
+        max_tokens,
+    ).astype(int)
+    return [
+        Request(arrival=float(t), n=int(n), id=i)
+        for i, (t, n) in enumerate(zip(times, lengths))
+    ]

@@ -67,8 +67,15 @@ class ServingStats:
 
     @classmethod
     def from_served(cls, served: list[ServedRequest]) -> "ServingStats":
+        """Aggregate a run; an empty run (every request shed, or none offered)
+        yields the all-zero stats rather than raising — an autoscaled fleet
+        legitimately runs replicas that never receive a request."""
         if not served:
-            raise ValueError("no served requests to summarise")
+            return cls(
+                count=0, mean_latency=0.0, p50_latency=0.0, p95_latency=0.0,
+                p99_latency=0.0, max_latency=0.0, mean_waiting=0.0,
+                throughput_rps=0.0, makespan=0.0,
+            )
         latencies = np.array([s.latency for s in served])
         first_arrival = min(s.request.arrival for s in served)
         makespan = max(s.finish for s in served) - first_arrival

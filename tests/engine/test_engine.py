@@ -226,6 +226,26 @@ class TestObservability:
         assert registry.gauge("engine.queue_depth").value == 0
         assert registry.gauge("engine.slots_in_use").value == 0
 
+    def test_labeled_engines_keep_their_metrics_apart(self, gpt2):
+        """Two engines sharing one registry under different ``labels`` must
+        record into distinct labelled series — and leave the unlabeled
+        series untouched (fleet replicas vs a standalone engine)."""
+        registry = obs.MetricsRegistry()
+        stream = uniform_arrivals(3, interval=0.01, n_tokens=4)
+        with obs.use_registry(registry):
+            for name in ("r0", "r1"):
+                sequencer = GPT2CachedSequencer(
+                    gpt2, max_new_tokens=4, step_cost=constant_step_cost
+                )
+                InferenceEngine(
+                    sequencer, EngineConfig(num_slots=1), labels={"replica": name}
+                ).run(stream)
+        for name in ("r0", "r1"):
+            assert registry.counter("engine.completed_total", replica=name).value == 3
+            assert registry.counter("engine.steps_total", replica=name).value > 0
+            assert registry.gauge("engine.queue_depth", replica=name).value == 0
+        assert registry.counter("engine.completed_total").value == 0
+
     def test_trace_has_engine_track_spans(self, sequencer):
         tracer = obs.Tracer()
         with obs.use_tracer(tracer):
@@ -235,6 +255,75 @@ class TestObservability:
         names = {span.name for span in tracer.spans}
         assert "engine.run" in names
         assert any(name.startswith("request ") for name in names)
+
+
+class TestStreamAPI:
+    """The incremental surface (open/offer/pump/close) must agree with the
+    one-shot ``run`` and expose live load between pumps."""
+
+    def stream(self):
+        return uniform_arrivals(6, interval=0.02, n_tokens=4)
+
+    def test_horizon_pumped_stream_matches_one_shot_run(self, gpt2):
+        def make_engine():
+            sequencer = GPT2CachedSequencer(
+                gpt2, max_new_tokens=6, step_cost=constant_step_cost
+            )
+            return InferenceEngine(sequencer, EngineConfig(num_slots=2))
+
+        baseline = make_engine().run(self.stream())
+
+        engine = make_engine()
+        engine.open_stream()
+        for request in self.stream():
+            engine.offer(request)
+        horizon = 0.0
+        while not engine.idle:
+            horizon += 0.015  # deliberately unaligned with arrivals/steps
+            engine.pump(until=horizon)
+        report = engine.close_stream()
+
+        assert len(report.completed) == len(baseline.completed)
+        for a, b in zip(report.completed, baseline.completed):
+            assert a.request.id == b.request.id
+            assert a.finish == pytest.approx(b.finish)
+            np.testing.assert_array_equal(a.output, b.output)
+        assert report.makespan == pytest.approx(baseline.makespan)
+
+    def test_idle_pump_jumps_the_clock_to_the_horizon(self, sequencer):
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=1))
+        engine.open_stream()
+        engine.pump(until=3.5)
+        assert engine.clock.now() == pytest.approx(3.5)
+        assert engine.idle
+        engine.close_stream()
+
+    def test_load_properties_track_the_stream(self, sequencer):
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=1))
+        engine.open_stream()
+        for request in bursty_arrivals(bursts=1, burst_size=4, burst_gap=1.0, n_tokens=4):
+            engine.offer(request)
+        assert engine.pending_arrivals == 4 and not engine.idle
+        engine.pump(until=0.011)  # one step past the burst's arrival
+        assert engine.slots_in_use == 1
+        assert engine.queue_depth == 3
+        report = engine.close_stream()
+        assert len(report.completed) == 4
+        assert engine.idle and engine.queue_depth == 0
+
+    def test_stream_misuse_raises(self, sequencer):
+        engine = InferenceEngine(sequencer, EngineConfig(num_slots=1))
+        with pytest.raises(RuntimeError, match="no open stream"):
+            engine.pump()
+        engine.open_stream()
+        with pytest.raises(RuntimeError, match="already open"):
+            engine.open_stream()
+        engine.offer(Request(0.0, 4, id=7))
+        with pytest.raises(ValueError, match="unique"):
+            engine.offer(Request(0.5, 4, id=7))
+        engine.close_stream()
+        with pytest.raises(RuntimeError, match="no open stream"):
+            engine.close_stream()
 
 
 class TestReport:
@@ -252,6 +341,27 @@ class TestReport:
         assert report.completed == [] and report.shed == []
         assert report.makespan == 0.0
         assert report.mean_slot_occupancy == 0.0
+        assert report.shed_rate == 0.0
+        stats = report.stats()  # must not raise: zero-request replicas are legal
+        assert stats.count == 0 and stats.p99_latency == 0.0
+
+    def test_fully_shed_stream_still_reports(self, sequencer):
+        """Every request shed (hopeless deadlines): the report's stats views
+        stay well-defined — shed_rate 1.0, zero-latency percentiles."""
+        hopeless = [
+            Request(float(i), 4, id=i).with_slo(0.25)
+            for i in range(4)
+        ]
+        config = EngineConfig(
+            num_slots=1, shed_on_deadline=True, service_estimate=lambda r: 10.0
+        )
+        report = InferenceEngine(sequencer, config).run(hopeless)
+        assert report.completed == [] and len(report.shed) == 4
+        assert report.shed_rate == 1.0
+        stats = report.stats()
+        assert stats.count == 0
+        assert stats.p50_latency == stats.p99_latency == 0.0
+        assert report.makespan > 0.0  # sheds still bound the run's extent
 
 
 class TestValidation:

@@ -1,0 +1,134 @@
+"""Autoscaler control-loop tests: sustain, cooldown, bounds, gauge wiring."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.fleet.autoscaler import Autoscaler, AutoscalerConfig
+from repro.obs.metrics import MetricsRegistry
+
+
+@dataclass
+class FakeReplica:
+    name: str
+    num_slots: int = 2
+
+    @property
+    def labels(self) -> dict:
+        return {"replica": self.name}
+
+
+def make(registry: MetricsRegistry, **overrides) -> Autoscaler:
+    defaults = dict(
+        min_replicas=1,
+        max_replicas=4,
+        interval=1.0,
+        up_queue_per_replica=1.0,
+        up_sustain=2,
+        up_cooldown=2.0,
+        down_busy_fraction=0.05,
+        down_sustain=2,
+        down_cooldown=2.0,
+    )
+    defaults.update(overrides)
+    return Autoscaler(AutoscalerConfig(**defaults), registry=registry)
+
+
+def set_load(registry: MetricsRegistry, replica: FakeReplica, queue: int, busy: int):
+    registry.gauge("engine.queue_depth", **replica.labels).set(queue)
+    registry.gauge("engine.slots_in_use", **replica.labels).set(busy)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError, match="min_replicas"):
+        AutoscalerConfig(min_replicas=3, max_replicas=2)
+    with pytest.raises(ValueError, match="interval"):
+        AutoscalerConfig(interval=0.0)
+    with pytest.raises(ValueError, match="sustain"):
+        AutoscalerConfig(up_sustain=0)
+
+
+def test_pressure_must_sustain_before_scaling_up():
+    registry = MetricsRegistry()
+    scaler = make(registry, up_sustain=3)
+    replica = FakeReplica("r0")
+    set_load(registry, replica, queue=5, busy=2)
+    assert scaler.observe(0.0, [replica]) is None
+    assert scaler.observe(1.0, [replica]) is None
+    assert scaler.observe(2.0, [replica]) == "up"
+
+
+def test_a_calm_sample_resets_the_pressure_streak():
+    registry = MetricsRegistry()
+    scaler = make(registry, up_sustain=2)
+    replica = FakeReplica("r0")
+    set_load(registry, replica, queue=5, busy=2)
+    assert scaler.observe(0.0, [replica]) is None
+    set_load(registry, replica, queue=0, busy=1)  # busy but not pressured
+    assert scaler.observe(1.0, [replica]) is None
+    set_load(registry, replica, queue=5, busy=2)
+    assert scaler.observe(2.0, [replica]) is None  # streak restarted
+    assert scaler.observe(3.0, [replica]) == "up"
+
+
+def test_up_cooldown_spaces_consecutive_scale_ups():
+    registry = MetricsRegistry()
+    scaler = make(registry, up_sustain=1, up_cooldown=5.0)
+    replica = FakeReplica("r0")
+    set_load(registry, replica, queue=9, busy=2)
+    assert scaler.observe(0.0, [replica]) == "up"
+    assert scaler.observe(1.0, [replica]) is None  # cooling down
+    assert scaler.observe(4.0, [replica]) is None
+    assert scaler.observe(5.0, [replica]) == "up"
+
+
+def test_scale_up_respects_max_replicas():
+    registry = MetricsRegistry()
+    scaler = make(registry, up_sustain=1, max_replicas=2)
+    replicas = [FakeReplica("r0"), FakeReplica("r1")]
+    for replica in replicas:
+        set_load(registry, replica, queue=9, busy=2)
+    assert scaler.observe(0.0, replicas) is None
+
+
+def test_idle_fleet_scales_down_after_sustain_and_respects_min():
+    registry = MetricsRegistry()
+    scaler = make(registry, down_sustain=2)
+    replicas = [FakeReplica("r0"), FakeReplica("r1")]
+    for replica in replicas:
+        set_load(registry, replica, queue=0, busy=0)
+    assert scaler.observe(0.0, replicas) is None
+    assert scaler.observe(1.0, replicas) == "down"
+    # at min_replicas the proposal is suppressed even when idle persists
+    solo = [FakeReplica("r0")]
+    assert scaler.observe(2.0, solo) is None
+    assert scaler.observe(3.0, solo) is None
+
+
+def test_busy_slots_block_scale_down():
+    registry = MetricsRegistry()
+    scaler = make(registry, down_sustain=1)
+    replicas = [FakeReplica("r0"), FakeReplica("r1")]
+    set_load(registry, replicas[0], queue=0, busy=1)  # 25% busy > 5% threshold
+    set_load(registry, replicas[1], queue=0, busy=0)
+    assert scaler.observe(0.0, replicas) is None
+
+
+def test_history_records_every_sample():
+    registry = MetricsRegistry()
+    scaler = make(registry, up_sustain=1)
+    replica = FakeReplica("r0")
+    set_load(registry, replica, queue=3, busy=2)
+    scaler.observe(0.0, [replica])
+    set_load(registry, replica, queue=0, busy=0)
+    scaler.observe(1.0, [replica])
+    assert [s.decision for s in scaler.history] == ["up", None]
+    assert scaler.history[0].queue_depth == 3
+    assert scaler.history[0].busy_fraction == 1.0
+    assert scaler.history[1].busy_fraction == 0.0
+
+
+def test_observe_requires_a_live_replica():
+    scaler = make(MetricsRegistry())
+    with pytest.raises(ValueError, match="live replica"):
+        scaler.observe(0.0, [])

@@ -1,0 +1,90 @@
+"""Trace registry tests: lookup, determinism, stream invariants, rescaling."""
+
+import pytest
+
+from repro.fleet.traces import (
+    Trace,
+    build_trace,
+    get_trace_spec,
+    register_trace,
+    trace_names,
+)
+from repro.serving.arrivals import Request
+
+BUILTINS = ("diurnal", "bursts", "heavy-tail", "multi-tenant")
+
+
+def test_registry_lists_the_builtin_traces():
+    names = trace_names()
+    for name in BUILTINS:
+        assert f"{name}@v1" in names
+
+
+def test_lookup_by_name_and_versioned_ref():
+    assert get_trace_spec("diurnal").label == "diurnal@v1"
+    assert get_trace_spec("diurnal@v1").label == "diurnal@v1"
+    with pytest.raises(KeyError, match="unknown trace"):
+        get_trace_spec("nope")
+    with pytest.raises(KeyError, match="no version"):
+        get_trace_spec("diurnal@v99")
+    with pytest.raises(KeyError, match="version suffix"):
+        get_trace_spec("diurnal@latest")
+
+
+def test_duplicate_registration_is_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_trace("diurnal", version=1, description="dup")(lambda s, q: [])
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+@pytest.mark.parametrize("quick", [True, False])
+def test_builtin_traces_are_deterministic_and_well_formed(name, quick):
+    a = build_trace(name, seed=3, quick=quick)
+    b = build_trace(name, seed=3, quick=quick)
+    assert a.requests == b.requests
+    assert a.digest() == b.digest()
+    assert len(a) > 0
+    ids = [r.id for r in a.requests]
+    assert len(set(ids)) == len(ids)
+    arrivals = [r.arrival for r in a.requests]
+    assert arrivals == sorted(arrivals)
+    assert all(r.deadline is not None for r in a.requests)
+
+
+@pytest.mark.parametrize("name", BUILTINS)
+def test_different_seeds_give_different_streams(name):
+    assert build_trace(name, seed=0, quick=True).digest() != build_trace(
+        name, seed=1, quick=True
+    ).digest()
+
+
+def test_multi_tenant_mixes_three_tenants():
+    trace = build_trace("multi-tenant", seed=0, quick=True)
+    tenants = {r.tenant for r in trace.requests}
+    assert tenants == {"interactive", "batch", "burst"}
+    by_tenant = {t: [r for r in trace.requests if r.tenant == t] for t in tenants}
+    assert {r.priority for r in by_tenant["interactive"]} == {2}
+    assert {r.priority for r in by_tenant["batch"]} == {0}
+
+
+def test_rescaled_stretches_arrivals_and_slo_budgets_together():
+    trace = build_trace("diurnal", seed=0, quick=True)
+    scaled = trace.rescaled(0.25)
+    assert len(scaled) == len(trace)
+    assert scaled.time_scale == 0.25
+    for before, after in zip(trace.requests, scaled.requests):
+        assert after.arrival == pytest.approx(before.arrival * 0.25)
+        assert after.deadline - after.arrival == pytest.approx(
+            (before.deadline - before.arrival) * 0.25
+        )
+        assert after.n == before.n and after.id == before.id
+    with pytest.raises(ValueError, match="time_scale"):
+        trace.rescaled(0.0)
+
+
+def test_digest_tracks_content():
+    requests = (Request(arrival=0.0, n=4, id=0), Request(arrival=1.0, n=4, id=1))
+    a = Trace(name="x", version=1, seed=0, requests=requests)
+    b = Trace(name="x", version=1, seed=0, requests=requests[:1])
+    assert a.digest() != b.digest()
+    assert a.label == "x@v1"

@@ -1,0 +1,69 @@
+"""Property tests over every arrival generator: seed determinism + stream
+invariants (unique ids, sorted or well-formed arrivals, valid lengths)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.arrivals import (
+    bursty_arrivals,
+    heavy_tail_arrivals,
+    poisson_arrivals,
+    uniform_arrivals,
+)
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+counts = st.integers(min_value=1, max_value=40)
+rates = st.floats(min_value=0.01, max_value=50.0, allow_nan=False)
+
+
+def build_all(seed: int, count: int, rate: float):
+    """One stream per generator, all driven by the same seed."""
+    return {
+        "uniform": uniform_arrivals(count, interval=1.0 / rate, n_tokens=(2, 9), seed=seed),
+        "poisson": poisson_arrivals(count, rate=rate, n_tokens=(2, 9), seed=seed),
+        "bursty": bursty_arrivals(
+            bursts=max(count // 4, 1), burst_size=4, burst_gap=3.0,
+            within_gap=0.1, n_tokens=(2, 9), seed=seed,
+        ),
+        "heavy-tail": heavy_tail_arrivals(
+            count, rate=rate, median_tokens=6, sigma=0.9, max_tokens=64, seed=seed
+        ),
+    }
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, count=counts, rate=rates)
+def test_same_seed_reproduces_every_generator_exactly(seed, count, rate):
+    first = build_all(seed, count, rate)
+    second = build_all(seed, count, rate)
+    for name in first:
+        assert first[name] == second[name], f"{name} stream not seed-deterministic"
+
+
+@settings(max_examples=40, deadline=None)
+@given(seed=seeds, count=counts, rate=rates)
+def test_streams_are_well_formed(seed, count, rate):
+    for name, stream in build_all(seed, count, rate).items():
+        ids = [r.id for r in stream]
+        assert ids == list(range(len(stream))), f"{name}: ids not dense/unique"
+        arrivals = [r.arrival for r in stream]
+        assert arrivals == sorted(arrivals), f"{name}: arrivals out of order"
+        assert all(r.arrival >= 0 for r in stream)
+        assert all(r.n >= 1 for r in stream), f"{name}: invalid prompt length"
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds, count=counts, rate=rates)
+def test_heavy_tail_lengths_respect_the_cap_and_spread(seed, count, rate):
+    stream = heavy_tail_arrivals(
+        count, rate=rate, median_tokens=8, sigma=1.2, max_tokens=32, seed=seed
+    )
+    assert all(1 <= r.n <= 32 for r in stream)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=seeds)
+def test_distinct_seeds_usually_differ(seed):
+    a = heavy_tail_arrivals(20, rate=1.0, seed=seed)
+    b = heavy_tail_arrivals(20, rate=1.0, seed=seed + 1)
+    assert a != b  # exponential + lognormal draws collide with ~0 probability

@@ -39,9 +39,10 @@ class TestServedRequestAndStats:
         assert stats.p99_latency == pytest.approx(1.0)
         assert stats.count == 100
 
-    def test_empty_rejected(self):
-        with pytest.raises(ValueError):
-            ServingStats.from_served([])
+    def test_empty_stream_yields_zero_stats(self):
+        stats = ServingStats.from_served([])
+        assert stats.count == 0
+        assert stats.p99_latency == 0.0 and stats.throughput_rps == 0.0
 
     def test_summary_readable(self):
         served = [ServedRequest(Request(0.0, 10), start=0.0, finish=0.5)]

@@ -33,9 +33,20 @@ class TestServedRequest:
 
 
 class TestEmptyAndSingle:
-    def test_empty_stream_rejected(self):
-        with pytest.raises(ValueError, match="no served requests"):
-            ServingStats.from_served([])
+    def test_empty_stream_yields_zero_stats(self):
+        """An empty run (all requests shed, or a replica that never received
+        one) aggregates to well-defined zeros — it must never raise, because
+        the fleet's autoscaler legitimately runs idle replicas."""
+        stats = ServingStats.from_served([])
+        assert stats.count == 0
+        assert stats.mean_latency == stats.p50_latency == stats.p99_latency == 0.0
+        assert stats.p95_latency == stats.max_latency == 0.0
+        assert stats.mean_waiting == 0.0
+        assert stats.throughput_rps == 0.0
+        assert stats.makespan == 0.0
+        assert stats.deadline_count == stats.deadline_misses == 0
+        assert stats.deadline_miss_rate == 0.0
+        assert "0 requests" in stats.summary()
 
     def test_single_request_collapses_all_percentiles(self):
         stats = ServingStats.from_served([served(0.0, 0.5, 2.0)])
