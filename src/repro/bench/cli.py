@@ -18,6 +18,8 @@ Usage::
     voltage-bench perf              # allocation-aware perf suite -> BENCH_perf.json
     voltage-bench perf --quick --check  # CI smoke lane with regression gate
     voltage-bench serve             # online engine offered-load sweep -> BENCH_serve.json
+                                    # (includes the speculative-decode / prefix-cache
+                                    #  tokens-per-second comparison, digest-gated)
     voltage-bench serve --quick --check # CI soak lane with baseline gate
     voltage-bench fleet             # multi-replica router/autoscale sweep -> BENCH_fleet.json
     voltage-bench fleet --workload bursts   # replay a different registered trace
@@ -204,6 +206,30 @@ def _run_serve(args) -> int:
         f"shed {shed['shed_rate']:.0%}); "
         f"no shedding p99 {open_['p99_latency_s']:.3f}s "
         f"({'exceeds' if overload['bound_exceeded_without_shedding'] else 'meets'} bound)"
+    )
+
+    spec = payload["speculative"]
+    print(
+        f"\nspeculative comparison ({spec['workload']['trace']}, "
+        f"{spec['workload']['num_requests']} requests, saturating load):"
+    )
+    spec_rows = [["config", "tok/s", "speedup", "accept", "prefix hits", "saved"]]
+    for name, entry in spec["configs"].items():
+        speedup = spec["speedups"].get(name)
+        stats = entry.get("speculative")
+        cache = entry.get("prefix_cache")
+        spec_rows.append([
+            name,
+            f"{entry['tokens_per_s']:.1f}",
+            f"{speedup:.2f}x" if speedup is not None else "-",
+            f"{stats['acceptance_rate']:.0%}" if stats else "-",
+            f"{cache['hits']} ({cache['hit_rate']:.0%})" if cache else "-",
+            f"{cache['positions_saved']}" if cache else "-",
+        ])
+    print(format_aligned(spec_rows))
+    print(
+        "outputs bit-identical across configs: "
+        f"{'yes' if spec['identical_outputs'] else 'NO (BUG)'}"
     )
 
     output = args.output or Path("BENCH_serve.json")

@@ -2,9 +2,20 @@
 
 Runs the real engine — actual GPT-2 KV-cached decodes through the
 continuous-batching worker loop — under a monotone sweep of offered load,
-and emits ``BENCH_serve.json`` (schema ``repro-bench-serve/v1``) with
+and emits ``BENCH_serve.json`` (schema ``repro-bench-serve/v2``) with
 p50/p99 latency, throughput, shed rate and slot occupancy per point, plus
 a 2× overload comparison of shedding vs no shedding.
+
+Since v2 the report also carries a **speculative-decoding comparison**: the
+``shared-prefix`` fleet trace replayed at saturating load through four
+engine configurations — baseline greedy decode, speculative with the
+n-gram self-drafting proposer, speculative with a truncated draft model,
+and speculative combined with the cross-request radix prefix cache.  All
+four must produce byte-identical outputs (greedy exact-match acceptance is
+lossless); what changes is virtual-time tokens/s.  ``--check`` gates that
+the speedups stay above 1.0, the output digests match the committed
+baseline exactly, and acceptance / prefix-hit rates hold within
+``RATE_TOLERANCE``.
 
 Determinism: time is *virtual* (:class:`~repro.engine.clock.VirtualClock`)
 and every token step is charged a fixed analytic cost, so the sweep's
@@ -24,12 +35,21 @@ load — and the report records both sides.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
 import numpy as np
 
-from repro.engine import EngineConfig, GPT2CachedSequencer, InferenceEngine, VirtualClock
+from repro.engine import (
+    DraftModelProposer,
+    EngineConfig,
+    GPT2CachedSequencer,
+    InferenceEngine,
+    NgramProposer,
+    SpeculativeSequencer,
+    VirtualClock,
+)
 from repro.serving.arrivals import Request, poisson_arrivals
 
 __all__ = [
@@ -37,17 +57,19 @@ __all__ = [
     "step_cost",
     "request_cost",
     "run_serve_sweep",
+    "run_speculative_comparison",
     "emit_report",
     "check_regression",
 ]
 
-SCHEMA = "repro-bench-serve/v1"
+SCHEMA = "repro-bench-serve/v2"
 
 #: Tolerances for --check: virtual-time results are deterministic, so these
 #: only absorb float wobble and intentional small retunes, not host speed.
 LATENCY_FACTOR = 1.25
 SHED_RATE_TOLERANCE = 0.05
 THROUGHPUT_FACTOR = 1.25
+RATE_TOLERANCE = 0.1  # acceptance / prefix-hit rate drift vs baseline
 
 #: Analytic per-forward virtual cost (seconds): a fixed launch overhead, a
 #: per-new-position projection term, and a per-cached-position attention term.
@@ -190,6 +212,144 @@ def run_serve_sweep(quick: bool = False, seed: int = 0) -> dict:
         },
         "sweep": sweep,
         "overload": overload,
+        "speculative": run_speculative_comparison(quick=quick, seed=seed),
+    }
+
+
+# -- speculative decoding + prefix cache comparison ----------------------------
+
+
+def _output_digest(completed) -> str:
+    """Order-independent fingerprint of every served token sequence."""
+    digest = hashlib.sha256()
+    for record in sorted(completed, key=lambda c: c.request.id):
+        digest.update(int(record.request.id).to_bytes(8, "little", signed=True))
+        digest.update(np.ascontiguousarray(record.output, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def run_speculative_comparison(quick: bool = False, seed: int = 0) -> dict:
+    """Replay the ``shared-prefix`` trace at saturating load through four
+    engine configurations and measure virtual-time tokens/s.
+
+    Configurations (all serve byte-identical tokens — the gate asserts it):
+
+    - ``baseline`` — plain KV-cached greedy decode;
+    - ``speculative-ngram`` — self-drafting n-gram proposer;
+    - ``speculative-draft`` — one-layer truncated draft model proposer;
+    - ``speculative-prefix-cache`` — n-gram proposer plus the cross-request
+      radix prefix cache (retained prompt KV seeds same-tenant prefills).
+
+    The trace is rescaled to offer ~9× one engine's capacity, so the
+    makespan is service-bound and tokens/s measures decode efficiency
+    rather than arrival gaps.
+    """
+    from repro.fleet.traces import build_trace
+
+    model = _serve_model(quick)
+    max_new = 8
+    num_slots = 4
+    lookahead = 4
+    shared_prefix = 12  # tenant system-prompt length, < min prompt - 2
+    trace = build_trace("shared-prefix", seed=seed, quick=quick)
+    mean_prompt = sum(r.n for r in trace.requests) / len(trace.requests)
+    service_s = request_cost(int(mean_prompt), max_new)
+    # trace rate is 0.9 req/unit; one unit -> 0.1 service times ~= 9x capacity
+    trace = trace.rescaled(0.1 * service_s)
+    requests = list(trace.requests)
+
+    def sequencer_kwargs():
+        return dict(
+            max_new_tokens=max_new,
+            step_cost=step_cost,
+            prompt_seed=seed,
+            shared_prefix_tokens=shared_prefix,
+        )
+
+    configs = [
+        ("baseline", lambda: GPT2CachedSequencer(model, **sequencer_kwargs()), False),
+        (
+            "speculative-ngram",
+            lambda: SpeculativeSequencer(
+                model, proposer=NgramProposer(), lookahead=lookahead, **sequencer_kwargs()
+            ),
+            False,
+        ),
+        (
+            "speculative-draft",
+            lambda: SpeculativeSequencer(
+                model,
+                proposer=DraftModelProposer(model.truncated_draft(1)),
+                lookahead=lookahead,
+                **sequencer_kwargs(),
+            ),
+            False,
+        ),
+        (
+            "speculative-prefix-cache",
+            lambda: SpeculativeSequencer(
+                model, proposer=NgramProposer(), lookahead=lookahead, **sequencer_kwargs()
+            ),
+            True,
+        ),
+    ]
+
+    results: dict[str, dict] = {}
+    for name, make_sequencer, prefix_cache in configs:
+        sequencer = make_sequencer()
+        engine = InferenceEngine(
+            sequencer,
+            # no shedding: every config must serve the *identical* request
+            # set or the output digests are not comparable
+            EngineConfig(
+                num_slots=num_slots, shed_on_deadline=False, prefix_cache=prefix_cache
+            ),
+            clock=VirtualClock(),
+        )
+        report = engine.run(requests)
+        stats = report.stats()
+        generated = sum(
+            len(record.output) - min(record.request.n, model.config.max_positions)
+            for record in report.completed
+        )
+        entry = {
+            "completed": len(report.completed),
+            "generated_tokens": generated,
+            "makespan_s": report.makespan,
+            "tokens_per_s": generated / report.makespan if report.makespan > 0 else 0.0,
+            "p50_latency_s": stats.p50_latency,
+            "p99_latency_s": stats.p99_latency,
+            "steps_total": report.steps_total,
+            "output_digest": _output_digest(report.completed),
+        }
+        spec_stats = getattr(sequencer, "stats", None)
+        if spec_stats is not None:
+            entry["speculative"] = spec_stats.as_dict()
+        if report.prefix_cache is not None:
+            entry["prefix_cache"] = report.prefix_cache
+        results[name] = entry
+
+    base_tps = results["baseline"]["tokens_per_s"]
+    digests = {entry["output_digest"] for entry in results.values()}
+    return {
+        "workload": {
+            "trace": trace.label,
+            "trace_digest": trace.digest(),
+            "num_requests": len(requests),
+            "shared_prefix_tokens": shared_prefix,
+            "lookahead": lookahead,
+            "num_slots": num_slots,
+            "max_new_tokens": max_new,
+            "time_scale": trace.time_scale,
+            "seed": seed,
+        },
+        "configs": results,
+        "identical_outputs": len(digests) == 1,
+        "speedups": {
+            name: entry["tokens_per_s"] / base_tps if base_tps > 0 else 0.0
+            for name, entry in results.items()
+            if name != "baseline"
+        },
     }
 
 
@@ -278,4 +438,54 @@ def check_regression(payload: dict, mode: str, baseline_path: Path) -> list[str]
             "overload: the no-shedding configuration unexpectedly met the bound "
             "(the comparison no longer demonstrates anything)"
         )
+    errors.extend(_check_speculative(payload.get("speculative"), base.get("speculative")))
+    return errors
+
+
+def _check_speculative(now: dict | None, base: dict | None) -> list[str]:
+    """v2 gates: lossless speculation, real speedups, pinned digests/rates."""
+    if now is None:
+        return ["payload has no 'speculative' section"]
+    if base is None:
+        return ["baseline has no 'speculative' section"]
+    errors = []
+    if not now["identical_outputs"]:
+        errors.append(
+            "speculative: output digests diverge across configs — speculation "
+            "or the prefix cache is no longer lossless"
+        )
+    for name, speedup in now["speedups"].items():
+        if not speedup > 1.0:
+            errors.append(
+                f"speculative: {name} speedup {speedup:.3f}x is not > 1.0x baseline"
+            )
+    for name, entry in now["configs"].items():
+        base_entry = base["configs"].get(name)
+        if base_entry is None:
+            errors.append(f"speculative: baseline has no {name!r} config entry")
+            continue
+        if entry["output_digest"] != base_entry["output_digest"]:
+            errors.append(
+                f"speculative: {name} output digest {entry['output_digest']} != "
+                f"baseline {base_entry['output_digest']} (tokens changed)"
+            )
+        pairs = []
+        if "speculative" in entry and "speculative" in base_entry:
+            pairs.append((
+                "acceptance_rate",
+                entry["speculative"]["acceptance_rate"],
+                base_entry["speculative"]["acceptance_rate"],
+            ))
+        if "prefix_cache" in entry and "prefix_cache" in base_entry:
+            pairs.append((
+                "prefix hit_rate",
+                entry["prefix_cache"]["hit_rate"],
+                base_entry["prefix_cache"]["hit_rate"],
+            ))
+        for label, a, b in pairs:
+            if abs(a - b) > RATE_TOLERANCE:
+                errors.append(
+                    f"speculative: {name} {label} {a:.3f} vs baseline {b:.3f} "
+                    f"(tolerance {RATE_TOLERANCE})"
+                )
     return errors

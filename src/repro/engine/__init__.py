@@ -36,6 +36,7 @@ from repro.engine.engine import (
     EngineStalledError,
     InferenceEngine,
 )
+from repro.engine.prefix_cache import PrefixCacheStats, PrefixEntry, RadixPrefixCache
 from repro.engine.scheduler import POLICIES, Scheduler, ShedRequest
 from repro.engine.sequencer import (
     DecodeSession,
@@ -44,9 +45,16 @@ from repro.engine.sequencer import (
     VoltageForwardSequencer,
 )
 from repro.engine.slots import KVSlot, SlotPool
+from repro.engine.speculative import (
+    DraftModelProposer,
+    NgramProposer,
+    SpeculativeSequencer,
+    SpeculativeStats,
+)
 
 __all__ = [
     "CompletedRequest",
+    "DraftModelProposer",
     "EngineConfig",
     "EngineReport",
     "EngineStalledError",
@@ -54,10 +62,16 @@ __all__ = [
     "GPT2CachedSequencer",
     "InferenceEngine",
     "KVSlot",
+    "NgramProposer",
     "POLICIES",
+    "PrefixCacheStats",
+    "PrefixEntry",
+    "RadixPrefixCache",
     "Scheduler",
     "ShedRequest",
     "SlotPool",
+    "SpeculativeSequencer",
+    "SpeculativeStats",
     "VirtualClock",
     "VoltageDecodeSequencer",
     "VoltageForwardSequencer",

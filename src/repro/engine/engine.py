@@ -46,6 +46,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.engine.clock import VirtualClock
+from repro.engine.prefix_cache import PrefixCacheStats, RadixPrefixCache
 from repro.engine.scheduler import Scheduler, ShedRequest
 from repro.engine.slots import KVSlot, SlotPool
 from repro.obs.metrics import get_registry
@@ -76,6 +77,8 @@ class EngineConfig:
     preemptive: bool = False  # priority policy only: evict lower-priority decodes
     shed_on_deadline: bool = True  # drop queued requests that can no longer make it
     service_estimate: Callable[[Request], float] | None = None
+    prefix_cache: bool = False  # retain finished prompt KV for cross-request reuse
+    prefix_cache_slots: int | None = None  # extra retained slots; None = num_slots
     chaos_preempt_period: int | None = None  # testing: force a preemption every ~N steps
     chaos_max_preemptions: int = 4  # per-request chaos cap, so runs always terminate
     chaos_seed: int = 0
@@ -85,6 +88,13 @@ class EngineConfig:
             raise ValueError(f"need >= 1 slot, got {self.num_slots}")
         if self.preemptive and self.policy != "priority":
             raise ValueError("preemption requires the 'priority' policy")
+        if self.prefix_cache_slots is not None:
+            if not self.prefix_cache:
+                raise ValueError("prefix_cache_slots requires prefix_cache=True")
+            if self.prefix_cache_slots < 1:
+                raise ValueError(
+                    f"prefix_cache_slots must be >= 1, got {self.prefix_cache_slots}"
+                )
         if self.chaos_preempt_period is not None and self.chaos_preempt_period < 1:
             raise ValueError(
                 f"chaos_preempt_period must be >= 1, got {self.chaos_preempt_period}"
@@ -106,6 +116,7 @@ class CompletedRequest:
     steps: int  # model forwards charged to it (includes redone work)
     preemptions: int = 0
     slot_index: int = -1
+    prefix_reused: int = 0  # prompt positions seeded from the prefix cache
 
     @property
     def latency(self) -> float:
@@ -127,6 +138,7 @@ class EngineReport:
     slot_seconds: float = 0.0
     steps_total: int = 0
     preemptions_total: int = 0
+    prefix_cache: dict | None = None  # per-run hit/miss/eviction counts, if enabled
 
     @property
     def total_requests(self) -> int:
@@ -171,6 +183,7 @@ class _Lifecycle:
     first_start: float | None = None
     preemptions: int = 0
     steps: int = 0
+    prefix_reused: int = 0  # summed across dispatches (re-dispatches may re-hit)
 
 
 @dataclass
@@ -188,6 +201,7 @@ class _Stream:
     first_arrival: float | None = None
     shed_seen: int = 0
     last_chaos_step: int = 0
+    prefix_base: PrefixCacheStats | None = None  # cache counters at stream open
 
 
 class InferenceEngine:
@@ -218,10 +232,29 @@ class InferenceEngine:
             if not self.labels
             else "engine[" + ",".join(f"{k}={v}" for k, v in sorted(self.labels.items())) + "]"
         )
+        retained = 0
+        if self.config.prefix_cache:
+            if not getattr(sequencer, "supports_prefix_cache", False):
+                raise ValueError(
+                    f"{type(sequencer).__name__} does not support the prefix cache "
+                    "(it keeps no engine-side KV rows to retain)"
+                )
+            retained = (
+                self.config.prefix_cache_slots
+                if self.config.prefix_cache_slots is not None
+                else self.config.num_slots
+            )
         self.pool = SlotPool(
             self.config.num_slots,
             num_layers=sequencer.num_layers,
             capacity=sequencer.slot_capacity,
+            retained_slots=retained,
+        )
+        # the cache recycles displaced/duplicate slots straight back to the pool
+        self.prefix_cache: RadixPrefixCache | None = (
+            RadixPrefixCache(on_release=self.pool.reclaim)
+            if self.config.prefix_cache
+            else None
         )
         self.scheduler: Scheduler | None = None  # set per run
         self._stream: _Stream | None = None
@@ -273,6 +306,11 @@ class InferenceEngine:
             chaos_rng=(
                 np.random.default_rng(config.chaos_seed)
                 if config.chaos_preempt_period is not None
+                else None
+            ),
+            prefix_base=(
+                self.prefix_cache.stats.snapshot()
+                if self.prefix_cache is not None
                 else None
             ),
         )
@@ -340,6 +378,56 @@ class InferenceEngine:
             self._run_loop(s, None)
         return self._finalise(s)
 
+    # -- slot + prefix-cache plumbing ------------------------------------------
+
+    def _can_dispatch(self) -> bool:
+        """Whether a queued request could start now: a clean free slot, or a
+        retained refcount-0 prefix entry to evict — concurrency stays capped
+        at ``num_slots`` either way."""
+        pool = self.pool
+        if pool.in_use >= pool.num_slots:
+            return False
+        if pool.num_free > 0:
+            return True
+        return self.prefix_cache is not None and self.prefix_cache.evictable()
+
+    def _acquire_slot(self) -> KVSlot | None:
+        """A clean slot: from the free list, else by evicting the LRU
+        refcount-0 prefix entry and reclaiming its retained slot."""
+        slot = self.pool.acquire()
+        if slot is None and self.prefix_cache is not None:
+            victim = self.prefix_cache.evict_lru()
+            if victim is not None:
+                slot = self.pool.reclaim(victim.slot, checkout=True)
+        return slot
+
+    def _seed_prefix(self, slot: KVSlot, prompt: np.ndarray) -> int:
+        """Copy the longest cached prefix of ``prompt`` into ``slot``; the
+        donor entry stays pinned over the copy window.  The match is capped
+        so at least ``min_prefill_suffix`` prompt positions re-prefill as a
+        multi-row GEMM (the bit-identity condition, INTERNALS §16)."""
+        cache = self.prefix_cache
+        suffix = getattr(self.sequencer, "min_prefill_suffix", 2)
+        hit = cache.match(prompt, limit=len(prompt) - suffix)
+        if hit is None:
+            return 0
+        entry, length = hit
+        with cache.pinned(entry):
+            slot.copy_prefix_from(entry.slot, length)
+        return length
+
+    def _release_slot(self, flight: "_Flight") -> None:
+        """Release a flight's slot — retaining its prompt rows for the
+        prefix cache when the sequencer deems them shareable."""
+        if self.prefix_cache is not None:
+            key = self.sequencer.cache_key(flight.state)
+            if key is not None:
+                flight.slot.truncate(len(key))  # prompt rows only; decode rows drop
+                self.pool.release(flight.slot, retain=True)
+                self.prefix_cache.insert(key, flight.slot)
+                return
+        self.pool.release(flight.slot)
+
     # -- the worker loop -------------------------------------------------------
 
     def _run_loop(self, s: _Stream, until: float | None) -> None:
@@ -365,7 +453,9 @@ class InferenceEngine:
 
         def preempt(flight: _Flight) -> None:
             active.remove(flight)
-            pool.release(flight.slot)  # truncates the caches; buffers survive
+            # prompt rows may be retained for the prefix cache — the victim
+            # itself will re-match them on re-dispatch, shrinking redone work
+            self._release_slot(flight)
             scheduler.requeue(flight.request)
             lifecycles[flight.request.id].preemptions += 1
             report.preemptions_total += 1
@@ -374,7 +464,7 @@ class InferenceEngine:
         def finish(flight: _Flight, now: float) -> None:
             output = self.sequencer.result(flight.state)
             active.remove(flight)
-            pool.release(flight.slot)
+            self._release_slot(flight)
             life = lifecycles[flight.request.id]
             record = CompletedRequest(
                 request=flight.request,
@@ -384,6 +474,7 @@ class InferenceEngine:
                 steps=life.steps,
                 preemptions=life.preemptions,
                 slot_index=flight.slot.index,
+                prefix_reused=life.prefix_reused,
             )
             report.completed.append(record)
             registry.counter("engine.completed_total", **labels).inc()
@@ -410,7 +501,7 @@ class InferenceEngine:
             record_shed()
 
             # 2. priority preemption: a queued request outranks a runner
-            if config.preemptive and active and pool.num_free == 0:
+            if config.preemptive and active and not self._can_dispatch():
                 best = scheduler.best_waiting_priority()
                 if best is not None:
                     victim = min(
@@ -422,15 +513,24 @@ class InferenceEngine:
                         progressed = True
 
             # 3. fill free slots in policy order
-            while pool.num_free > 0:
+            while self._can_dispatch():
                 request = scheduler.next_ready(now)
                 if request is None:
                     break
-                slot = pool.acquire()
+                slot = self._acquire_slot()
+                if slot is None:  # every retained entry pinned — cannot happen
+                    break         # mid-loop today, but stay defensive
                 prompt = s.prompts.get(request.id)
                 if prompt is None:
                     prompt = self.sequencer.prompt_for(request)
-                state = self.sequencer.begin(request, prompt, slot)
+                if self.prefix_cache is not None:
+                    cached_prefix = self._seed_prefix(slot, prompt)
+                    state = self.sequencer.begin(
+                        request, prompt, slot, cached_prefix=cached_prefix
+                    )
+                    lifecycles[request.id].prefix_reused += cached_prefix
+                else:
+                    state = self.sequencer.begin(request, prompt, slot)
                 life = lifecycles[request.id]
                 if life.first_start is None:
                     life.first_start = now
@@ -496,6 +596,21 @@ class InferenceEngine:
         registry = get_registry()
         report = s.report
         registry.counter("engine.steps_total", **self.labels).inc(report.steps_total)
+        if self.prefix_cache is not None and s.prefix_base is not None:
+            delta = self.prefix_cache.stats.delta(s.prefix_base)
+            report.prefix_cache = {**delta.as_dict(), "entries": len(self.prefix_cache)}
+            labels = self.labels
+            registry.counter("engine.prefix_cache.hits_total", **labels).inc(delta.hits)
+            registry.counter("engine.prefix_cache.misses_total", **labels).inc(delta.misses)
+            registry.counter("engine.prefix_cache.evictions_total", **labels).inc(
+                delta.evictions
+            )
+            registry.counter(
+                "engine.prefix_cache.positions_saved_total", **labels
+            ).inc(delta.positions_saved)
+            registry.gauge("engine.prefix_cache.entries", **labels).set(
+                len(self.prefix_cache)
+            )
         first_arrival = s.first_arrival if s.first_arrival is not None else 0.0
         end = max(
             [c.finish for c in report.completed] + [r.time for r in s.scheduler.shed],

@@ -37,16 +37,66 @@ from __future__ import annotations
 
 import queue
 import threading
+import zlib
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.models.cache import layer_forward_cached
+from repro.obs.metrics import get_registry
 from repro.serving.arrivals import Request
 from repro.engine.slots import KVSlot
 
 __all__ = ["DecodeSession", "GPT2CachedSequencer", "VoltageDecodeSequencer", "VoltageForwardSequencer"]
+
+#: Namespaces the per-tenant shared-prefix RNG stream apart from the
+#: per-request suffix stream (which is seeded ``[prompt_seed, request.id]``).
+_TENANT_PREFIX_NS = 0x5E9F
+
+
+def _clipped_prompt_len(
+    request: Request, max_positions: int, truncated: dict[int, tuple[int, int]]
+) -> int:
+    """Clip ``request.n`` to the model's position budget — and *record* it:
+    a request asking for more context than the model has is a serving
+    misconfiguration worth surfacing, not something to silently absorb.
+    ``truncated`` maps request id -> (requested, used); recording is
+    idempotent so preemption re-``begin``s don't double-count."""
+    n = min(request.n, max_positions)
+    if n < request.n and request.id not in truncated:
+        truncated[request.id] = (request.n, n)
+        get_registry().counter("engine.prompt_truncated_total").inc()
+    return n
+
+
+def _synthetic_prompt(
+    request: Request,
+    max_positions: int,
+    vocab_size: int,
+    prompt_seed: int,
+    truncated: dict[int, tuple[int, int]],
+    shared_prefix_tokens: int = 0,
+    min_suffix: int = 2,
+) -> np.ndarray:
+    """The deterministic synthetic prompt every sequencer derives from
+    ``(prompt_seed, request.id)`` — optionally with a tenant-keyed shared
+    prefix, so requests from the same tenant open with the same
+    ``shared_prefix_tokens`` ids (seeded by ``(prompt_seed, tenant)``, so
+    it does not depend on which replica builds it).  At least ``min_suffix``
+    tokens stay request-unique, matching the prefix cache's match cap."""
+    n = _clipped_prompt_len(request, max_positions, truncated)
+    rng = np.random.default_rng([prompt_seed, request.id])
+    suffix = rng.integers(0, vocab_size, size=n, dtype=np.int64)
+    if shared_prefix_tokens <= 0 or request.tenant is None:
+        return suffix
+    prefix_len = min(shared_prefix_tokens, max(n - min_suffix, 0))
+    if prefix_len == 0:
+        return suffix
+    prefix_rng = np.random.default_rng(
+        [prompt_seed, _TENANT_PREFIX_NS, zlib.crc32(request.tenant.encode())]
+    )
+    prefix = prefix_rng.integers(0, vocab_size, size=prefix_len, dtype=np.int64)
+    return np.concatenate([prefix, suffix[prefix_len:]])
 
 
 @dataclass
@@ -61,10 +111,22 @@ class _DecodeState:
     emitted: int = 0
     prefilled: bool = False
     done: bool = False
+    cached_prefix: int = 0  # prompt rows seeded from the prefix cache
 
 
 class GPT2CachedSequencer:
     """Token-step greedy decoding over slot-owned KV caches."""
+
+    #: The engine's prefix cache may hand this sequencer pre-seeded prompt
+    #: rows (``begin(..., cached_prefix=k)``); Voltage sequencers keep KV
+    #: state rank-side and opt out.
+    supports_prefix_cache = True
+    #: A cached-prefix match leaves at least this many prompt positions to
+    #: re-prefill, keeping the suffix forward a multi-row batched GEMM —
+    #: batch rows are bit-stable across batch shapes, single GEMV rows are
+    #: not (INTERNALS §16), and bit-identity to ``generate_cached`` rides
+    #: on exactly that.
+    min_prefill_suffix = 2
 
     def __init__(
         self,
@@ -72,18 +134,31 @@ class GPT2CachedSequencer:
         max_new_tokens: int = 8,
         step_cost: Callable[[int, int], float] | None = None,
         prompt_seed: int = 0,
+        shared_prefix_tokens: int = 0,
     ):
         """``step_cost(new_positions, cache_len_before)`` supplies the
         deterministic virtual-time cost of one forward; leave None to charge
         measured wall time (wall-clock serving).  ``prompt_seed`` namespaces
-        the synthetic prompts :meth:`prompt_for` derives from request ids.
+        the synthetic prompts :meth:`prompt_for` derives from request ids;
+        ``shared_prefix_tokens > 0`` opens every tenant-tagged request's
+        prompt with that many tenant-keyed common tokens (the prefix-cache
+        workload shape).
         """
         if max_new_tokens < 0:
             raise ValueError(f"max_new_tokens must be >= 0, got {max_new_tokens}")
+        if shared_prefix_tokens < 0:
+            raise ValueError(
+                f"shared_prefix_tokens must be >= 0, got {shared_prefix_tokens}"
+            )
         self.model = model
         self.max_new_tokens = max_new_tokens
         self.step_cost = step_cost
         self.prompt_seed = prompt_seed
+        self.shared_prefix_tokens = shared_prefix_tokens
+        #: request id -> (requested n, clipped n) for prompts that exceeded
+        #: the model's position budget (also counted on
+        #: ``engine.prompt_truncated_total``).
+        self.truncated_prompts: dict[int, tuple[int, int]] = {}
 
     # -- slot geometry the engine builds its pool from -------------------------
 
@@ -100,10 +175,19 @@ class GPT2CachedSequencer:
     def prompt_for(self, request: Request) -> np.ndarray:
         """Deterministic synthetic prompt: ``request.n`` tokens seeded by
         ``(prompt_seed, request.id)`` — the soak tests and the serve bench
-        replay the same prompts offline to check bit-identity."""
-        rng = np.random.default_rng([self.prompt_seed, request.id])
-        n = min(request.n, self.model.config.max_positions)
-        return rng.integers(0, self.model.config.vocab_size, size=n, dtype=np.int64)
+        replay the same prompts offline to check bit-identity.  Tenant-tagged
+        requests share a ``shared_prefix_tokens``-long opening keyed by the
+        tenant; prompts clipped to ``max_positions`` are recorded in
+        :attr:`truncated_prompts`."""
+        return _synthetic_prompt(
+            request,
+            self.model.config.max_positions,
+            self.model.config.vocab_size,
+            self.prompt_seed,
+            self.truncated_prompts,
+            shared_prefix_tokens=self.shared_prefix_tokens,
+            min_suffix=self.min_prefill_suffix,
+        )
 
     def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
         """The ground-truth output: a fresh offline ``generate_cached`` run."""
@@ -112,9 +196,22 @@ class GPT2CachedSequencer:
 
     # -- the state machine -----------------------------------------------------
 
-    def begin(self, request: Request, prompt: np.ndarray, slot: KVSlot) -> _DecodeState:
-        if slot.length != 0:
-            raise ValueError(f"slot {slot.index} was handed over dirty (length {slot.length})")
+    def begin(
+        self,
+        request: Request,
+        prompt: np.ndarray,
+        slot: KVSlot,
+        cached_prefix: int = 0,
+    ) -> _DecodeState:
+        """Bind a request to its slot.  ``cached_prefix > 0`` declares that
+        the slot already holds byte-exact K/V rows for the first
+        ``cached_prefix`` prompt tokens (seeded by the engine from the
+        prefix cache); prefill then covers only the remaining suffix."""
+        if slot.length != cached_prefix:
+            raise ValueError(
+                f"slot {slot.index} was handed over dirty "
+                f"(length {slot.length}, expected {cached_prefix} cached-prefix rows)"
+            )
         prompt = np.asarray(prompt)
         if prompt.ndim != 1 or prompt.size < 1:
             raise ValueError(f"prompt must be a non-empty 1-D id array, got {prompt.shape}")
@@ -123,29 +220,54 @@ class GPT2CachedSequencer:
                 f"prompt of {prompt.size} tokens exceeds max_positions "
                 f"{self.model.config.max_positions}"
             )
+        if cached_prefix < 0 or (
+            cached_prefix > 0 and cached_prefix > prompt.size - self.min_prefill_suffix
+        ):
+            raise ValueError(
+                f"cached_prefix {cached_prefix} must leave >= {self.min_prefill_suffix} "
+                f"prompt positions of a {prompt.size}-token prompt to prefill"
+            )
         return _DecodeState(
-            request=request, slot=slot, ids=[int(t) for t in prompt], prompt_len=prompt.size
+            request=request,
+            slot=slot,
+            ids=[int(t) for t in prompt],
+            prompt_len=prompt.size,
+            cached_prefix=cached_prefix,
         )
 
-    def _forward(self, state: _DecodeState, new_ids: list[int], offset: int) -> int:
+    def cache_key(self, state: _DecodeState) -> tuple[int, ...] | None:
+        """The token ids whose slot rows are safe to retain for the prefix
+        cache: *prompt* rows only — prefill rows come from multi-row GEMMs
+        (bit-stable across requests), decode rows from single-row GEMVs (not)
+        — and only when at least ``min_prefill_suffix`` of them exist."""
+        length = min(state.slot.length, state.prompt_len)
+        if length < self.min_prefill_suffix:
+            return None
+        return tuple(state.ids[:length])
+
+    def _forward(
+        self, state: _DecodeState, new_ids: list[int], offset: int, all_positions: bool = False
+    ) -> np.ndarray:
         """One model forward over the new positions — the exact op sequence of
-        ``generate_cached``'s inner ``step``, against the slot's caches."""
-        model = self.model
-        positions = np.arange(offset, offset + len(new_ids))
-        x = model.embeddings.word(np.asarray(new_ids, dtype=np.int64))
-        x = x + model.embeddings.position(positions)
-        for layer, layer_cache in zip(model.layers, state.slot.caches):
-            x = layer_forward_cached(layer, x, layer_cache, workspace=state.slot.workspace)
-        logits = model.ln_f(x[-1]) @ model.embeddings.word.weight.data.T
-        return int(np.argmax(logits))
+        ``generate_cached``'s inner ``step``, against the slot's caches —
+        returning LM-head logits (all positions' when ``all_positions``,
+        for speculative verify; the last position's otherwise)."""
+        return self.model.logits_cached(
+            new_ids,
+            offset,
+            state.slot.caches,
+            workspace=state.slot.workspace,
+            all_positions=all_positions,
+        )
 
     def step(self, state: _DecodeState) -> tuple[bool, float | None]:
         if state.done:
             raise ValueError(f"request {state.request.id} already finished")
         max_positions = self.model.config.max_positions
         if not state.prefilled:
-            cost = self._cost(len(state.ids), 0)
-            state.next_id = self._forward(state, state.ids, 0)
+            new = state.ids[state.cached_prefix:]
+            cost = self._cost(len(new), state.cached_prefix)
+            state.next_id = int(np.argmax(self._forward(state, new, state.cached_prefix)))
             state.prefilled = True
             if self.max_new_tokens == 0 or len(state.ids) >= max_positions:
                 state.done = True
@@ -158,7 +280,9 @@ class GPT2CachedSequencer:
             state.done = True
             return True, 0.0 if self.step_cost is not None else None
         cost = self._cost(1, len(state.ids) - 1)
-        state.next_id = self._forward(state, [state.ids[-1]], len(state.ids) - 1)
+        state.next_id = int(
+            np.argmax(self._forward(state, [state.ids[-1]], len(state.ids) - 1))
+        )
         return False, cost
 
     def _cost(self, new_positions: int, cache_len: int) -> float | None:
@@ -201,15 +325,20 @@ class VoltageForwardSequencer:
         self.system = system
         self.service_time = service_time
         self.prompt_seed = prompt_seed
+        self.truncated_prompts: dict[int, tuple[int, int]] = {}
 
     @property
     def slot_capacity(self) -> int:
         return self.system.model.config.max_positions
 
     def prompt_for(self, request: Request) -> np.ndarray:
-        rng = np.random.default_rng([self.prompt_seed, request.id])
-        n = min(request.n, self.system.model.config.max_positions)
-        return rng.integers(0, self.system.model.config.vocab_size, size=n, dtype=np.int64)
+        return _synthetic_prompt(
+            request,
+            self.system.model.config.max_positions,
+            self.system.model.config.vocab_size,
+            self.prompt_seed,
+            self.truncated_prompts,
+        )
 
     def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
         prompt = prompt if prompt is not None else self.prompt_for(request)
@@ -459,6 +588,7 @@ class VoltageDecodeSequencer:
         self.runtime = runtime
         self.session_timeout = session_timeout
         self.attention = attention
+        self.truncated_prompts: dict[int, tuple[int, int]] = {}
         self._session: DecodeSession | None = None
 
     @property
@@ -488,9 +618,13 @@ class VoltageDecodeSequencer:
     # -- prompts (same derivation as GPT2CachedSequencer) ----------------------
 
     def prompt_for(self, request: Request) -> np.ndarray:
-        rng = np.random.default_rng([self.prompt_seed, request.id])
-        n = min(request.n, self.model.config.max_positions)
-        return rng.integers(0, self.model.config.vocab_size, size=n, dtype=np.int64)
+        return _synthetic_prompt(
+            request,
+            self.model.config.max_positions,
+            self.model.config.vocab_size,
+            self.prompt_seed,
+            self.truncated_prompts,
+        )
 
     def offline_reference(self, request: Request, prompt: np.ndarray | None = None) -> np.ndarray:
         prompt = prompt if prompt is not None else self.prompt_for(request)

@@ -12,6 +12,17 @@ engine's life (the PR 3 capacity-hint machinery does the sizing).
 The pool is the engine's *admission currency*: a decode cannot start
 without a slot, and a saturated pool is what turns arrivals into queueing
 and — past the queue bound — into load shedding.
+
+**Retention** (INTERNALS §16): with ``retained_slots > 0`` the pool holds
+that many *extra* physical slots beyond the concurrency bound, and
+``release(slot, retain=True)`` parks a finished slot *untruncated* instead
+of recycling it — the prefix cache keys those parked prompt rows so later
+requests can :meth:`KVSlot.copy_prefix_from` them instead of re-prefilling.
+Concurrency stays capped at ``num_slots``: :meth:`acquire` never hands out
+more than that many slots at once, and a retained slot re-enters service
+only through :meth:`reclaim` (which is where eviction lands).  Buffers are
+never freed either way, so the zero-steady-state-allocation invariant
+(``allocations()`` flat across runs) holds with retention enabled.
 """
 
 from __future__ import annotations
@@ -37,10 +48,33 @@ class KVSlot:
     def length(self) -> int:
         return self.caches[0].length if self.caches else 0
 
+    def truncate(self, length: int) -> None:
+        """Roll every layer cache back to ``length`` valid rows (shrink-only)."""
+        for cache in self.caches:
+            cache.truncate(length)
+
+    def copy_prefix_from(self, donor: "KVSlot", length: int) -> None:
+        """Seed this (empty) slot with the first ``length`` cached rows of
+        ``donor`` — a byte-exact copy into this slot's own preallocated
+        buffers, so the donor stays immutable and refcounting stays simple
+        (no cross-slot aliasing to invalidate)."""
+        if self.length != 0:
+            raise ValueError(
+                f"slot {self.index} must be empty to seed a prefix (length {self.length})"
+            )
+        if length < 0 or length > donor.length:
+            raise ValueError(
+                f"cannot copy {length} rows from donor slot {donor.index} "
+                f"holding {donor.length}"
+            )
+        if length == 0:
+            return
+        for mine, theirs in zip(self.caches, donor.caches):
+            mine.append(theirs.k[:, :length], theirs.v[:, :length])
+
     def reset(self) -> None:
         """Roll every layer cache back to empty, keeping the buffers."""
-        for cache in self.caches:
-            cache.truncate(0)
+        self.truncate(0)
         self.generation += 1
 
     def allocations(self) -> int:
@@ -54,21 +88,33 @@ class SlotPool:
     ``num_layers`` may be 0 for sequencers that keep no per-request model
     state (e.g. the one-shot Voltage forward path) — the pool then only
     bounds concurrency.
+
+    ``retained_slots`` adds physical slots that exist purely to park
+    finished KV state for the prefix cache; at most ``num_slots`` slots are
+    ever checked out concurrently regardless.
     """
 
-    def __init__(self, num_slots: int, num_layers: int, capacity: int):
+    def __init__(
+        self, num_slots: int, num_layers: int, capacity: int, retained_slots: int = 0
+    ):
         if num_slots < 1:
             raise ValueError(f"need >= 1 slot, got {num_slots}")
         if num_layers < 0 or capacity < 1:
             raise ValueError(
                 f"invalid slot geometry: num_layers={num_layers}, capacity={capacity}"
             )
+        if retained_slots < 0:
+            raise ValueError(f"retained_slots must be >= 0, got {retained_slots}")
         self.num_slots = num_slots
+        self.retained_slots = retained_slots
         self.capacity = capacity
         self._lock = threading.Lock()
-        self._slots = [KVSlot(i, num_layers, capacity) for i in range(num_slots)]
+        self._slots = [
+            KVSlot(i, num_layers, capacity) for i in range(num_slots + retained_slots)
+        ]
         self._free = list(reversed(self._slots))  # pop() hands out slot 0 first
         self._in_use: set[int] = set()
+        self._retained: set[int] = set()
 
     @property
     def in_use(self) -> int:
@@ -80,23 +126,59 @@ class SlotPool:
         with self._lock:
             return len(self._free)
 
-    def acquire(self) -> KVSlot | None:
-        """A free slot, or None when the pool is saturated (never blocks)."""
+    @property
+    def num_retained(self) -> int:
         with self._lock:
-            if not self._free:
+            return len(self._retained)
+
+    def acquire(self) -> KVSlot | None:
+        """A free slot, or None when no clean slot is free or the
+        concurrency bound ``num_slots`` is met (never blocks)."""
+        with self._lock:
+            if not self._free or len(self._in_use) >= self.num_slots:
                 return None
             slot = self._free.pop()
             self._in_use.add(slot.index)
             return slot
 
-    def release(self, slot: KVSlot) -> None:
-        """Recycle a slot: truncate its caches and return it to the pool."""
+    def release(self, slot: KVSlot, retain: bool = False) -> None:
+        """Recycle a slot — or, with ``retain=True``, park it with its cached
+        rows intact for the prefix cache (the caller keys them)."""
         with self._lock:
             if slot.index not in self._in_use:
                 raise ValueError(f"slot {slot.index} is not checked out")
             self._in_use.remove(slot.index)
+            if retain:
+                if slot.length == 0:
+                    raise ValueError(
+                        f"slot {slot.index} has no cached rows to retain"
+                    )
+                self._retained.add(slot.index)
+            else:
+                slot.reset()
+                self._free.append(slot)
+
+    def reclaim(self, slot: KVSlot, checkout: bool = False) -> KVSlot:
+        """Take a retained slot back into service: its rows are dropped and
+        it either returns to the free list or (``checkout=True``) is handed
+        straight out as an acquired slot — the eviction path."""
+        with self._lock:
+            if slot.index not in self._retained:
+                raise ValueError(f"slot {slot.index} is not retained")
+            if checkout and len(self._in_use) >= self.num_slots:
+                # check before mutating: a refused checkout must leave the
+                # slot parked, not orphaned outside every pool set
+                raise RuntimeError(
+                    f"cannot check out reclaimed slot {slot.index}: "
+                    f"{len(self._in_use)} slots already in use (bound {self.num_slots})"
+                )
+            self._retained.remove(slot.index)
             slot.reset()
-            self._free.append(slot)
+            if checkout:
+                self._in_use.add(slot.index)
+            else:
+                self._free.append(slot)
+            return slot
 
     def allocations(self) -> int:
         """Backing allocations across all slots (steady state: one per cache)."""

@@ -143,11 +143,18 @@ def build_tier_model(tier: ReplicaTier, config, weight_seed: int = 0):
 
 
 def make_tier_sequencer(
-    tier: ReplicaTier, model, max_new_tokens: int = 8, prompt_seed: int = 0
+    tier: ReplicaTier,
+    model,
+    max_new_tokens: int = 8,
+    prompt_seed: int = 0,
+    shared_prefix_tokens: int = 0,
 ):
     """A :class:`~repro.engine.GPT2CachedSequencer` charging this tier's
     step costs.  ``prompt_seed`` must be fleet-wide so a request's prompt
-    does not depend on which replica serves it."""
+    does not depend on which replica serves it; ``shared_prefix_tokens``
+    (also fleet-wide) opens every tenant's prompts with that tenant's
+    deterministic system-prompt prefix — the workload shape the engine's
+    cross-request prefix cache reuses."""
     from repro.engine import GPT2CachedSequencer
 
     return GPT2CachedSequencer(
@@ -155,4 +162,5 @@ def make_tier_sequencer(
         max_new_tokens=max_new_tokens,
         step_cost=tier.step_cost,
         prompt_seed=prompt_seed,
+        shared_prefix_tokens=shared_prefix_tokens,
     )

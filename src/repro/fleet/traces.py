@@ -25,6 +25,10 @@ Built-in traces (all seeds-deterministic, ids unique, arrivals sorted):
 - ``multi-tenant`` — three tenants (interactive/batch/burst) with distinct
   rates, lengths, priorities and SLOs, merged on one timeline; session
   keys feed the affinity router.
+- ``shared-prefix`` — four tenants with skewed traffic shares on one
+  Poisson timeline; each tenant's prompts open with a common
+  system-prompt prefix (the sequencer's ``shared_prefix_tokens``), the
+  workload the cross-request radix prefix cache exists for.
 """
 
 from __future__ import annotations
@@ -269,3 +273,23 @@ def _multi_tenant(seed: int, quick: bool) -> list[Request]:
         interactive + batch + burst, key=lambda r: (r.arrival, r.tenant, r.id)
     )
     return [replace(r, id=i) for i, r in enumerate(merged)]
+
+
+@register_trace(
+    "shared-prefix",
+    version=1,
+    description="four tenants, skewed shares, per-tenant shared prompt openings (prefix-cache workload)",
+)
+def _shared_prefix(seed: int, quick: bool) -> list[Request]:
+    count = 40 if quick else 110
+    tenants = ("alpha", "beta", "gamma", "delta")
+    weights = (0.4, 0.3, 0.2, 0.1)  # skewed: alpha dominates, delta is rare
+    raw = poisson_arrivals(
+        count=count, rate=0.9, n_tokens=(18, 30), seed=seed * 5 + 11
+    )
+    rng = np.random.default_rng([seed, 7])
+    picks = rng.choice(len(tenants), size=len(raw), p=weights)
+    return [
+        replace(r.with_slo(12.0), tenant=tenants[int(pick)])
+        for r, pick in zip(raw, picks)
+    ]

@@ -74,13 +74,65 @@ class GPT2Model(TransformerModel):
         """Tied LM head on the last position: F × vocab."""
         return self.config.hidden_size * self.config.vocab_size
 
+    def logits_cached(
+        self,
+        new_ids,
+        offset: int,
+        caches,
+        workspace=None,
+        all_positions: bool = False,
+    ) -> np.ndarray:
+        """One KV-cached forward over ``new_ids`` at ``offset``, returning
+        LM-head logits — the exact op sequence of :meth:`generate_cached`'s
+        inner step, against caller-owned per-layer caches (``caches`` is a
+        sequence of :class:`~repro.models.cache.LayerKVCache`, e.g. an
+        engine slot's).
+
+        By default only the last position's logits come back (``(vocab,)``,
+        the greedy-decode head).  ``all_positions=True`` returns the full
+        ``(t, vocab)`` matrix — the multi-position *verify* forward of
+        speculative decoding, which needs the target's argmax at every
+        drafted position from one batched pass.
+        """
+        from repro.models.cache import layer_forward_cached
+
+        positions = np.arange(offset, offset + len(new_ids))
+        x = self.embeddings.word(np.asarray(new_ids, dtype=np.int64))
+        x = x + self.embeddings.position(positions)
+        for layer, layer_cache in zip(self.layers, caches):
+            x = layer_forward_cached(layer, x, layer_cache, workspace=workspace)
+        hidden = self.ln_f(x) if all_positions else self.ln_f(x[-1])
+        return hidden @ self.embeddings.word.weight.data.T
+
+    def truncated_draft(self, num_layers: int = 1) -> "GPT2Model":
+        """A shallower draft model for speculative decoding: shares this
+        model's embeddings, first ``num_layers`` transformer layers and
+        final norm *by reference* — no extra weights, same tokenizer and
+        vocab, so its greedy proposals track the full model closely while
+        each draft forward runs ``num_layers / L`` of the layer stack."""
+        from repro.tensor.module import ModuleList
+
+        if not 1 <= num_layers < self.num_layers:
+            raise ValueError(
+                f"draft depth must be in [1, {self.num_layers - 1}], got {num_layers}"
+            )
+        config = self.config.scaled(
+            num_layers=num_layers, name=f"{self.config.name}-draft{num_layers}"
+        )
+        draft = GPT2Model(config, rng=np.random.default_rng(0))
+        draft.embeddings = self.embeddings
+        draft.layers = ModuleList(list(self.layers)[:num_layers])
+        draft.ln_f = self.ln_f
+        draft.tokenizer = self.tokenizer
+        return draft
+
     def generate_cached(self, prompt_ids: np.ndarray, max_new_tokens: int = 8) -> np.ndarray:
         """Greedy decoding with a KV cache: prefill once, then O(1) steps.
 
         Emits exactly the same tokens as :meth:`generate` (asserted by the
         tests) while projecting each position only once per layer.
         """
-        from repro.models.cache import KVCache, layer_forward_cached
+        from repro.models.cache import KVCache
         from repro.tensor.workspace import Workspace
 
         ids = list(np.asarray(prompt_ids))
@@ -91,12 +143,7 @@ class GPT2Model(TransformerModel):
         workspace = Workspace()
 
         def step(new_ids: list[int], offset: int) -> int:
-            positions = np.arange(offset, offset + len(new_ids))
-            x = self.embeddings.word(np.asarray(new_ids, dtype=np.int64))
-            x = x + self.embeddings.position(positions)
-            for layer, layer_cache in zip(self.layers, cache.layers):
-                x = layer_forward_cached(layer, x, layer_cache, workspace=workspace)
-            logits = self.ln_f(x[-1]) @ self.embeddings.word.weight.data.T
+            logits = self.logits_cached(new_ids, offset, cache.layers, workspace=workspace)
             return int(np.argmax(logits))
 
         next_id = step(ids, 0)  # prefill over the whole prompt

@@ -67,7 +67,7 @@ class TestCli:
         printed = capsys.readouterr().out
         assert "overload" in printed and "bound" in printed
         doc = json.loads(out.read_text())
-        assert doc["schema"] == "repro-bench-serve/v1"
+        assert doc["schema"] == "repro-bench-serve/v2"
         assert "quick" in doc["modes"]
 
     def test_serve_check_gates_against_fresh_baseline(self, tmp_path, capsys):

@@ -34,8 +34,35 @@ class TestCostModel:
         assert serve.request_cost(6, 0) == pytest.approx(serve.step_cost(6, 0))
 
 
+def speculative_section(
+    digest="f00d", identical=True, speedup=1.3, acceptance=0.8, hit_rate=0.6
+):
+    """A minimal, internally consistent v2 'speculative' payload section."""
+    return {
+        "configs": {
+            "baseline": {"tokens_per_s": 100.0, "output_digest": digest},
+            "speculative-ngram": {
+                "tokens_per_s": 100.0 * speedup,
+                "output_digest": digest,
+                "speculative": {"acceptance_rate": acceptance},
+            },
+            "speculative-prefix-cache": {
+                "tokens_per_s": 100.0 * speedup * 1.1,
+                "output_digest": digest,
+                "speculative": {"acceptance_rate": acceptance},
+                "prefix_cache": {"hit_rate": hit_rate},
+            },
+        },
+        "identical_outputs": identical,
+        "speedups": {
+            "speculative-ngram": speedup,
+            "speculative-prefix-cache": speedup * 1.1,
+        },
+    }
+
+
 class TestReportFile:
-    def payload(self, p99=0.5):
+    def payload(self, p99=0.5, **spec_overrides):
         return {
             "sweep": [
                 {
@@ -53,6 +80,7 @@ class TestReportFile:
                 "bound_held_with_shedding": True,
                 "bound_exceeded_without_shedding": True,
             },
+            "speculative": speculative_section(**spec_overrides),
         }
 
     def test_emit_writes_schema_and_merges_modes(self, tmp_path):
@@ -77,8 +105,11 @@ class TestRegressionGate:
         path.write_text(json.dumps({"schema": serve.SCHEMA, "modes": {mode: payload}}))
         return path
 
+    SPEC_KEYS = ("digest", "identical", "speedup", "acceptance", "hit_rate")
+
     def payload(self, **overrides):
-        base = TestReportFile().payload()
+        spec_overrides = {k: overrides.pop(k) for k in self.SPEC_KEYS if k in overrides}
+        base = TestReportFile().payload(**spec_overrides)
         base["sweep"][0].update(
             {k: v for k, v in overrides.items() if k in base["sweep"][0]}
         )
@@ -115,6 +146,45 @@ class TestRegressionGate:
         baseline = self.write_baseline(tmp_path, self.payload(), mode="full")
         errors = serve.check_regression(self.payload(), "quick", baseline)
         assert errors and "quick" in errors[0]
+
+    # -- v2 speculative gates --------------------------------------------------
+
+    def test_diverged_outputs_fail(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(
+            self.payload(identical=False), "quick", baseline
+        )
+        assert any("lossless" in e for e in errors)
+
+    def test_changed_output_digest_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(
+            self.payload(digest="beef"), "quick", baseline
+        )
+        assert any("digest" in e and "tokens changed" in e for e in errors)
+
+    def test_lost_speedup_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        errors = serve.check_regression(self.payload(speedup=0.97), "quick", baseline)
+        assert any("not > 1.0x" in e for e in errors)
+
+    def test_acceptance_rate_drift_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload(acceptance=0.8))
+        assert serve.check_regression(self.payload(acceptance=0.75), "quick", baseline) == []
+        errors = serve.check_regression(self.payload(acceptance=0.6), "quick", baseline)
+        assert any("acceptance_rate" in e for e in errors)
+
+    def test_prefix_hit_rate_drift_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload(hit_rate=0.6))
+        errors = serve.check_regression(self.payload(hit_rate=0.3), "quick", baseline)
+        assert any("hit_rate" in e for e in errors)
+
+    def test_missing_speculative_section_fails(self, tmp_path):
+        baseline = self.write_baseline(tmp_path, self.payload())
+        bare = self.payload()
+        del bare["speculative"]
+        errors = serve.check_regression(bare, "quick", baseline)
+        assert any("speculative" in e for e in errors)
 
 
 class TestCommittedBaseline:
@@ -157,3 +227,31 @@ class TestCommittedBaseline:
         sweep = doc["modes"][mode]["sweep"]
         assert sweep[-1]["mean_slot_occupancy"] > sweep[0]["mean_slot_occupancy"]
         assert all(0 <= point["mean_slot_occupancy"] <= 1 for point in sweep)
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_speculative_section_demonstrates_the_claims(self, doc, mode):
+        """The committed comparison must show what the PR claims: lossless
+        speculation with > 1x tokens/s on every configuration, and the
+        prefix cache actually serving hits."""
+        spec = doc["modes"][mode]["speculative"]
+        assert spec["identical_outputs"] is True
+        configs = spec["configs"]
+        assert set(configs) == {
+            "baseline",
+            "speculative-ngram",
+            "speculative-draft",
+            "speculative-prefix-cache",
+        }
+        digests = {entry["output_digest"] for entry in configs.values()}
+        assert len(digests) == 1
+        assert all(entry["completed"] == spec["workload"]["num_requests"]
+                   for entry in configs.values())
+        for name, speedup in spec["speedups"].items():
+            assert speedup > 1.0, f"{name} shows no speedup"
+        for name in ("speculative-ngram", "speculative-draft", "speculative-prefix-cache"):
+            stats = configs[name]["speculative"]
+            assert 0.0 < stats["acceptance_rate"] <= 1.0
+            assert stats["tokens_per_forward"] > 1.0
+        cache = configs["speculative-prefix-cache"]["prefix_cache"]
+        assert cache["hits"] > 0 and cache["positions_saved"] > 0
+        assert 0.0 < cache["hit_rate"] <= 1.0

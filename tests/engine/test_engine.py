@@ -93,6 +93,147 @@ class TestSoak:
         assert len(report.completed) == 6
 
 
+class TestPrefixCache:
+    """The engine-level prefix-cache contract (ISSUE 10): bit identity,
+    real hits, flat allocations, and correct behaviour when a donor entry
+    is evicted while its beneficiaries are still in flight."""
+
+    def tenant_stream(self, seed=5, bursts=2, burst_size=12):
+        requests = bursty_arrivals(
+            bursts=bursts, burst_size=burst_size, burst_gap=4.0,
+            within_gap=0.02, n_tokens=(6, 14), seed=seed,
+        )
+        tenants = ("alpha", "beta", "gamma")
+        return [
+            Request(r.arrival, r.n, id=r.id, tenant=tenants[r.id % 3])
+            for r in requests
+        ]
+
+    def make_engine(self, gpt2, **config_kwargs):
+        sequencer = GPT2CachedSequencer(
+            gpt2, max_new_tokens=6, step_cost=constant_step_cost, shared_prefix_tokens=4
+        )
+        config_kwargs.setdefault("num_slots", 3)
+        config_kwargs.setdefault("prefix_cache", True)
+        engine = InferenceEngine(sequencer, EngineConfig(**config_kwargs))
+        return engine, sequencer
+
+    def test_soak_bit_identical_with_hits_and_flat_allocations(self, gpt2):
+        engine, sequencer = self.make_engine(
+            gpt2, chaos_preempt_period=7, chaos_max_preemptions=2, chaos_seed=1
+        )
+        requests = self.tenant_stream(seed=5)
+        report = engine.run(requests)
+        assert len(report.completed) == len(requests)
+        assert report.prefix_cache["hits"] > 0
+        assert report.prefix_cache["positions_saved"] > 0
+        check_bit_identity(report, sequencer, requests)
+        # steady state: a second stream allocates nothing new
+        baseline = engine.pool.allocations()
+        second = self.tenant_stream(seed=9)
+        report2 = engine.run(second)
+        assert engine.pool.allocations() == baseline
+        assert report2.prefix_cache["hits"] > 0
+        check_bit_identity(report2, sequencer, second)
+
+    def test_cached_prefill_does_less_work_than_cold(self, gpt2):
+        """The perf claim at engine level: same outputs, fewer redone
+        prompt positions (completed requests record their reuse)."""
+        engine, _ = self.make_engine(gpt2)
+        report = engine.run(self.tenant_stream())
+        reused = sum(c.prefix_reused for c in report.completed)
+        assert reused > 0
+        assert reused == report.prefix_cache["positions_saved"]
+
+    def test_eviction_under_slot_pressure_stays_bit_identical(self, gpt2):
+        """One retained slot only: every new tenant's insert displaces the
+        previous entry through evict_lru's checkout path mid-stream —
+        in-flight requests that already copied from the evicted donor must
+        be unaffected (copies never alias)."""
+        engine, sequencer = self.make_engine(
+            gpt2, num_slots=2, prefix_cache_slots=1,
+            chaos_preempt_period=6, chaos_max_preemptions=2, chaos_seed=2,
+        )
+        requests = self.tenant_stream(seed=3, bursts=3, burst_size=9)
+        report = engine.run(requests)
+        assert len(report.completed) == len(requests)
+        assert report.prefix_cache["evictions"] > 0  # pressure actually evicted
+        assert report.prefix_cache["hits"] > 0
+        check_bit_identity(report, sequencer, requests)
+
+    def test_preempted_request_rematches_its_own_prefix(self, gpt2):
+        """A preemption retains the victim's prompt rows; its re-dispatch
+        should find them again (prefix_reused > 0 on a preempted request)."""
+        engine, sequencer = self.make_engine(
+            gpt2, num_slots=2, chaos_preempt_period=4,
+            chaos_max_preemptions=2, chaos_seed=11,
+        )
+        requests = self.tenant_stream(seed=7)
+        report = engine.run(requests)
+        preempted = [c for c in report.completed if c.preemptions > 0]
+        assert preempted  # chaos fired
+        assert any(c.prefix_reused > 0 for c in preempted)
+        check_bit_identity(report, sequencer, requests)
+
+    def test_prefix_cache_requires_sequencer_support(self, gpt2):
+        from repro.cluster.spec import ClusterSpec
+        from repro.engine import VoltageForwardSequencer as VFS
+        from repro.systems import VoltageSystem
+
+        system = VoltageSystem(gpt2, ClusterSpec.homogeneous(2, gflops=5.0, bandwidth_mbps=500))
+        sequencer = VFS(system, service_time=lambda n: 0.05)
+        with pytest.raises(ValueError, match="prefix cache"):
+            InferenceEngine(sequencer, EngineConfig(prefix_cache=True))
+
+    def test_prefix_cache_slots_validated(self):
+        with pytest.raises(ValueError, match="prefix_cache_slots"):
+            EngineConfig(prefix_cache=True, prefix_cache_slots=0)
+        with pytest.raises(ValueError, match="prefix_cache"):
+            EngineConfig(prefix_cache=False, prefix_cache_slots=2)
+
+
+class TestPromptTruncation:
+    """Regression (ISSUE 10 satellite): a request asking for more context
+    than the model holds used to be silently clipped; now it is clipped
+    *and recorded*."""
+
+    def test_oversized_prompt_recorded_not_silent(self, gpt2, sequencer):
+        max_positions = gpt2.config.max_positions
+        oversized = Request(0.0, max_positions + 7, id=0)
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            report = InferenceEngine(sequencer, EngineConfig(num_slots=1)).run([oversized])
+        assert sequencer.truncated_prompts == {0: (max_positions + 7, max_positions)}
+        assert registry.counter("engine.prompt_truncated_total").value == 1
+        # the decode itself stays well-formed at the clipped length
+        assert len(report.outputs()[0]) == max_positions
+        np.testing.assert_array_equal(
+            report.outputs()[0], sequencer.offline_reference(oversized)
+        )
+
+    def test_recording_is_idempotent_across_preemption_rebegins(self, gpt2):
+        sequencer = GPT2CachedSequencer(gpt2, max_new_tokens=4, step_cost=constant_step_cost)
+        max_positions = gpt2.config.max_positions
+        requests = [
+            Request(0.0, max_positions + 3, id=0),
+            Request(0.0, 6, id=1),
+            Request(0.0, 6, id=2),
+        ]
+        registry = obs.MetricsRegistry()
+        with obs.use_registry(registry):
+            config = EngineConfig(
+                num_slots=1, chaos_preempt_period=2, chaos_max_preemptions=3, chaos_seed=5
+            )
+            report = InferenceEngine(sequencer, config).run(requests)
+        assert report.preemptions_total > 0
+        assert list(sequencer.truncated_prompts) == [0]  # once, not per re-begin
+        assert registry.counter("engine.prompt_truncated_total").value == 1
+
+    def test_in_range_prompts_not_recorded(self, sequencer):
+        InferenceEngine(sequencer, EngineConfig(num_slots=1)).run([Request(0.0, 6, id=0)])
+        assert sequencer.truncated_prompts == {}
+
+
 class TestBitIdentity:
     def test_single_request_matches_offline(self, sequencer):
         report = InferenceEngine(sequencer, EngineConfig(num_slots=1)).run(

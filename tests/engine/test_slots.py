@@ -80,3 +80,105 @@ class TestSlotPool:
         assert slot.length == 0
         pool.release(slot)
         assert pool.num_free == 2
+
+
+class TestRetention:
+    """The prefix-cache surface: retain/reclaim/copy with the concurrency
+    bound and the zero-steady-state-allocation invariant intact."""
+
+    def test_retained_slot_keeps_rows_until_reclaimed(self, rng):
+        pool = SlotPool(1, num_layers=2, capacity=8, retained_slots=1)
+        slot = pool.acquire()
+        fill(slot, 5, rng)
+        pool.release(slot, retain=True)
+        assert slot.length == 5  # parked untruncated
+        assert pool.num_retained == 1
+        pool.reclaim(slot)
+        assert slot.length == 0
+        assert pool.num_retained == 0
+        assert pool.num_free == 2
+
+    def test_retaining_an_empty_slot_rejected(self):
+        pool = SlotPool(1, num_layers=1, capacity=8, retained_slots=1)
+        slot = pool.acquire()
+        with pytest.raises(ValueError, match="no cached rows"):
+            pool.release(slot, retain=True)
+
+    def test_reclaim_requires_a_retained_slot(self, rng):
+        pool = SlotPool(2, num_layers=1, capacity=8)
+        slot = pool.acquire()
+        with pytest.raises(ValueError, match="not retained"):
+            pool.reclaim(slot)
+
+    def test_concurrency_bound_holds_with_retained_slots(self, rng):
+        """Extra physical slots never raise effective concurrency: with
+        num_slots=2 and both checked out, a third acquire fails even
+        though retained slots exist and are free-able."""
+        pool = SlotPool(2, num_layers=1, capacity=8, retained_slots=2)
+        a, b = pool.acquire(), pool.acquire()
+        assert a is not None and b is not None
+        assert pool.acquire() is None  # bound is num_slots, not physical slots
+        fill(a, 3, rng)
+        pool.release(a, retain=True)
+        c = pool.acquire()  # a fresh physical slot; bound now 2 again
+        assert c is not None
+        assert pool.acquire() is None
+
+    def test_reclaim_checkout_respects_the_bound(self, rng):
+        pool = SlotPool(1, num_layers=1, capacity=8, retained_slots=1)
+        a = pool.acquire()
+        fill(a, 2, rng)
+        pool.release(a, retain=True)
+        b = pool.acquire()
+        assert b is not None  # the second physical slot
+        with pytest.raises(RuntimeError, match="bound"):
+            pool.reclaim(a, checkout=True)  # would exceed num_slots=1
+        pool.release(b)
+        reclaimed = pool.reclaim(a, checkout=True)
+        assert reclaimed is a and reclaimed.length == 0
+        assert pool.in_use == 1
+
+    def test_copy_prefix_is_byte_exact_and_guarded(self, rng):
+        pool = SlotPool(2, num_layers=2, capacity=8, retained_slots=1)
+        donor = pool.acquire()
+        fill(donor, 6, rng)
+        pool.release(donor, retain=True)
+        consumer = pool.acquire()
+        consumer.copy_prefix_from(donor, 4)
+        assert consumer.length == 4
+        for mine, theirs in zip(consumer.caches, donor.caches):
+            np.testing.assert_array_equal(mine.k, theirs.k[:, :4])
+            np.testing.assert_array_equal(mine.v, theirs.v[:, :4])
+        with pytest.raises(ValueError, match="must be empty"):
+            consumer.copy_prefix_from(donor, 2)
+        other = pool.acquire()
+        with pytest.raises(ValueError, match="cannot copy"):
+            other.copy_prefix_from(donor, 7)  # donor only holds 6 rows
+
+    def test_retention_keeps_allocations_flat(self, rng):
+        """Retain/copy/reclaim cycles reuse the buffers allocated in the
+        first generation — the engine's memory story survives retention."""
+        pool = SlotPool(1, num_layers=2, capacity=8, retained_slots=1)
+        slot = pool.acquire()
+        fill(slot, 8, rng)
+        pool.release(slot, retain=True)
+        consumer = pool.acquire()
+        consumer.copy_prefix_from(slot, 6)
+        fill(consumer, 2, rng)
+        pool.release(consumer)
+        pool.reclaim(slot)
+        baseline = pool.allocations()
+        for _ in range(4):
+            donor = pool.acquire()
+            fill(donor, 8, rng)
+            pool.release(donor, retain=True)
+            consumer = pool.acquire()
+            consumer.copy_prefix_from(donor, 6)
+            fill(consumer, 2, rng)
+            pool.release(consumer)
+            pool.reclaim(donor)
+        assert pool.allocations() == baseline
+
+    def test_retained_slots_validated(self):
+        with pytest.raises(ValueError, match="retained_slots"):
+            SlotPool(1, num_layers=1, capacity=8, retained_slots=-1)

@@ -65,3 +65,27 @@ def test_build_tier_model_quantizes_only_the_int8_tier():
         full_model.layers[0].attention.query.weight.data,
         int8_model.layers[0].attention.query.weight.data,
     )
+
+
+def test_make_tier_sequencer_passes_shared_prefix_through():
+    """Fleet-wide shared_prefix_tokens must reach the sequencer so every
+    replica derives the same tenant-keyed prompt openings."""
+    from repro.fleet.tiers import make_tier_sequencer
+    from repro.models import GPT2Model
+    from repro.serving.arrivals import Request
+
+    config = gpt2_config().scaled(
+        num_layers=1, hidden_size=32, num_heads=2, ffn_dim=64,
+        vocab_size=128, max_positions=32,
+    )
+    model = GPT2Model(config, rng=np.random.default_rng(0))
+    tier = ReplicaTier(name="full")
+    seq = make_tier_sequencer(tier, model, prompt_seed=3, shared_prefix_tokens=5)
+    assert seq.shared_prefix_tokens == 5
+    a = seq.prompt_for(Request(0.0, 10, id=0, tenant="t"))
+    b = seq.prompt_for(Request(0.0, 12, id=1, tenant="t"))
+    assert list(a[:5]) == list(b[:5])
+    assert list(a[5:]) != list(b[5:])
+    # default stays prefix-free
+    plain = make_tier_sequencer(tier, model, prompt_seed=3)
+    assert plain.shared_prefix_tokens == 0

@@ -11,7 +11,7 @@ from repro.fleet.traces import (
 )
 from repro.serving.arrivals import Request
 
-BUILTINS = ("diurnal", "bursts", "heavy-tail", "multi-tenant")
+BUILTINS = ("diurnal", "bursts", "heavy-tail", "multi-tenant", "shared-prefix")
 
 
 def test_registry_lists_the_builtin_traces():
@@ -65,6 +65,42 @@ def test_multi_tenant_mixes_three_tenants():
     by_tenant = {t: [r for r in trace.requests if r.tenant == t] for t in tenants}
     assert {r.priority for r in by_tenant["interactive"]} == {2}
     assert {r.priority for r in by_tenant["batch"]} == {0}
+
+
+def test_shared_prefix_mixes_four_skewed_tenants():
+    trace = build_trace("shared-prefix", seed=0, quick=False)
+    tenants = {r.tenant for r in trace.requests}
+    assert tenants == {"alpha", "beta", "gamma", "delta"}
+    counts = {t: sum(1 for r in trace.requests if r.tenant == t) for t in tenants}
+    assert counts["alpha"] > counts["delta"]  # the 0.4 vs 0.1 skew shows
+    assert all(r.deadline is not None for r in trace.requests)
+
+
+def test_shared_prefix_requests_share_tenant_prompt_openings():
+    """The trace's reason to exist: replayed through a sequencer with
+    shared_prefix_tokens set, same-tenant prompts open identically and
+    cross-tenant prompts do not (while suffixes stay request-unique)."""
+    import numpy as np
+
+    from repro.engine import GPT2CachedSequencer
+    from repro.models import GPT2Model, tiny_config
+
+    model = GPT2Model(
+        tiny_config(norm_style="pre", is_causal=True, type_vocab_size=0, num_layers=1),
+        rng=np.random.default_rng(0),
+    )
+    sequencer = GPT2CachedSequencer(model, shared_prefix_tokens=6)
+    trace = build_trace("shared-prefix", seed=0, quick=True)
+    by_tenant: dict[str, list] = {}
+    for request in trace.requests:
+        by_tenant.setdefault(request.tenant, []).append(sequencer.prompt_for(request))
+    for tenant, prompts in by_tenant.items():
+        openings = {tuple(p[:6]) for p in prompts}
+        assert len(openings) == 1, f"tenant {tenant} prompts do not share an opening"
+        suffixes = {tuple(p[6:]) for p in prompts}
+        assert len(suffixes) == len(prompts)  # request-unique tails
+    distinct_openings = {tuple(prompts[0][:6]) for prompts in by_tenant.values()}
+    assert len(distinct_openings) == len(by_tenant)  # tenants keyed apart
 
 
 def test_rescaled_stretches_arrivals_and_slo_budgets_together():
